@@ -1,0 +1,50 @@
+// Command cosmo-bench regenerates the tables and figures of the paper's
+// evaluation section, printing measured values next to the paper's
+// reported values.
+//
+// Usage:
+//
+//	cosmo-bench -list
+//	cosmo-bench -exp table6
+//	cosmo-bench -all [-scale 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cosmo/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmo-bench: ")
+
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "experiment to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Int("scale", 4, "workload scale divisor (1 = largest laptop-scale run)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	r := experiments.NewRunner(os.Stdout, *scale)
+	switch {
+	case *all:
+		if err := r.RunAll(); err != nil {
+			log.Fatal(err)
+		}
+	case *exp != "":
+		if err := r.Run(*exp); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("specify -exp <name>, -all, or -list")
+	}
+}

@@ -1,0 +1,115 @@
+// Command cosmo-kg inspects a knowledge graph written by cosmo-pipeline.
+//
+// Usage:
+//
+//	cosmo-kg -in kg.gob stats
+//	cosmo-kg -in kg.gob lookup <head-node-id>
+//	cosmo-kg -in kg.gob related <product-node-id>
+//	cosmo-kg -in kg.gob hierarchy [-min 2]
+//	cosmo-kg -in kg.gob export -tsv out.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/kg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmo-kg: ")
+
+	in := flag.String("in", "", "knowledge graph gob file (from cosmo-pipeline -out)")
+	minSupport := flag.Int("min", 2, "hierarchy minimum edge support")
+	tsv := flag.String("tsv", "", "export destination for the export command")
+	flag.Parse()
+
+	if *in == "" || flag.NArg() < 1 {
+		log.Fatal("usage: cosmo-kg -in kg.gob <stats|lookup|hierarchy|export> [args]")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := kg.ReadGob(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch flag.Arg(0) {
+	case "stats":
+		s := g.ComputeStats()
+		fmt.Printf("nodes: %d\nedges: %d\nrelations: %d\ndomains: %d\n",
+			s.Nodes, s.Edges, s.Relations, s.Domains)
+		for _, cat := range sortedKeys(s) {
+			ds := s.PerDomain[catalog.Category(cat)]
+			fmt.Printf("  %-30s co-buy=%d search-buy=%d\n", cat, ds.CoBuyEdges, ds.SearchBuyEdges)
+		}
+	case "lookup":
+		if flag.NArg() < 2 {
+			log.Fatal("lookup requires a node id (e.g. 'q:camping' or 'p:P000001')")
+		}
+		head := flag.Arg(1)
+		edges := g.IntentionsFor(head)
+		if len(edges) == 0 {
+			fmt.Println("no intentions for", head)
+			return
+		}
+		for _, e := range edges {
+			tail, _ := g.Node(e.Tail)
+			fmt.Printf("%-16s %-40s plausible=%.3f typical=%.3f support=%d\n",
+				e.Relation, tail.Label, e.PlausibleScore, e.TypicalScore, e.Support)
+		}
+	case "related":
+		if flag.NArg() < 2 {
+			log.Fatal("related requires a product node id (e.g. 'p:P000001')")
+		}
+		for _, rel := range g.RelatedProducts(flag.Arg(1), 10) {
+			fmt.Printf("%-12s %-45s score=%.2f via %v\n",
+				rel.ProductID, rel.Label, rel.Score, rel.Via)
+		}
+	case "hierarchy":
+		roots := g.BuildHierarchy(*minSupport)
+		fmt.Printf("%d hierarchy roots\n", len(roots))
+		n := 10
+		if n > len(roots) {
+			n = len(roots)
+		}
+		for _, root := range roots[:n] {
+			fmt.Print(root.Render(2))
+		}
+	case "export":
+		if *tsv == "" {
+			log.Fatal("export requires -tsv <path>")
+		}
+		out, err := os.Create(*tsv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.WriteTSV(out); err != nil {
+			out.Close()
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *tsv)
+	default:
+		log.Fatalf("unknown command %q", flag.Arg(0))
+	}
+}
+
+func sortedKeys(s kg.Stats) []string {
+	out := make([]string, 0, len(s.PerDomain))
+	for cat := range s.PerDomain {
+		out = append(out, string(cat))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,99 @@
+// Command cosmo-loadgen drives a running cosmo-serve instance with
+// Zipf-like query traffic and reports throughput, hit behaviour and
+// latency — the client side of the Figure 5 serving evaluation.
+//
+// Usage:
+//
+//	cosmo-serve -addr :8080 &
+//	cosmo-loadgen -target http://localhost:8080 -requests 5000 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// queryPool is a representative broad-intent vocabulary; cosmo-serve
+// answers any query, warming its cache as the load generator runs.
+var queryPool = []string{
+	"camping", "running", "walking the dog", "winter boots", "espresso",
+	"wedding", "hiking", "baby monitor", "gaming headset", "yoga",
+	"fishing", "picnic", "tennis", "sewing", "painting", "travel",
+	"smart watch", "air mattress", "dog leash", "notebook",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmo-loadgen: ")
+
+	target := flag.String("target", "http://localhost:8080", "cosmo-serve base URL")
+	requests := flag.Int("requests", 2000, "total requests to send")
+	workers := flag.Int("workers", 4, "concurrent workers")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	var served, queued, failed atomic.Int64
+	latencies := make([]float64, *requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := *requests / *workers
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			client := &http.Client{Timeout: 5 * time.Second}
+			for i := 0; i < per; i++ {
+				// Zipf-ish skew toward the head of the pool.
+				q := queryPool[int(rng.Float64()*rng.Float64()*float64(len(queryPool)))]
+				t0 := time.Now()
+				resp, err := client.Get(*target + "/intent?q=" + url.QueryEscape(q))
+				dt := float64(time.Since(t0).Microseconds()) / 1000.0
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusAccepted:
+					queued.Add(1)
+				default:
+					failed.Add(1)
+				}
+				mu.Lock()
+				latencies[w*per+i] = dt
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	total := served.Load() + queued.Load() + failed.Load()
+	fmt.Printf("sent %d requests in %.1fs (%.0f rps, %d workers)\n",
+		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *workers)
+	fmt.Printf("served from cache: %d (%.1f%%), queued for batch: %d, failed: %d\n",
+		served.Load(), 100*float64(served.Load())/float64(total), queued.Load(), failed.Load())
+	fmt.Printf("client latency: p50=%.1fms p99=%.1fms\n", pct(0.50), pct(0.99))
+}

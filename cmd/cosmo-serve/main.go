@@ -1,0 +1,82 @@
+// Command cosmo-serve runs the COSMO online serving stack of Figure 5:
+// it builds the world, trains COSMO-LM through the offline pipeline,
+// then serves structured intent features over HTTP through the feature
+// store and asynchronous two-layer cache, with a background batch
+// processor and a periodic model-refresh loop.
+//
+// Usage:
+//
+//	cosmo-serve [-addr :8080] [-events N] [-refresh 24h]
+//
+// Endpoints: GET /intent?q=..., GET /stats, GET /healthz.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"cosmo/internal/core"
+	"cosmo/internal/serving"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmo-serve: ")
+
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	events := flag.Int("events", 10000, "behavior events for the offline pipeline")
+	refresh := flag.Duration("refresh", 24*time.Hour, "model refresh interval")
+	batchEvery := flag.Duration("batch", 2*time.Second, "batch-processor interval")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Behavior.CoBuyEvents = *events
+	cfg.Behavior.SearchEvents = *events
+	cfg.Logf = log.Printf
+	log.Print("running offline pipeline (this trains COSMO-LM)...")
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pipeline ready: KG %d edges, COSMO-LM %d tails",
+		res.KG.NumEdges(), res.CosmoLM.KnownTails())
+
+	responder := serving.ResponderFunc(func(q string) serving.Feature {
+		gens := res.CosmoLM.Generate("search query: "+q, "", "", 3)
+		f := serving.Feature{Query: q}
+		for _, g := range gens {
+			f.Intents = append(f.Intents, g.Text)
+			f.Relations = append(f.Relations, string(g.Relation))
+		}
+		if len(gens) > 0 {
+			f.SubCategory = gens[0].Tail
+			f.StrongIntent = gens[0].Score > 1.0
+		}
+		return f
+	})
+
+	dep := serving.NewDeployment(serving.DeployConfig{DailyCacheCap: 4096}, responder)
+
+	// Background batch processor ("Batch Processing and Cache Update").
+	go func() {
+		for range time.Tick(*batchEvery) {
+			if n := dep.RunBatch(256); n > 0 {
+				log.Printf("batch processed %d queries", n)
+			}
+		}
+	}()
+	// Daily refresh loop ("Model Deployment" + feedback loop).
+	go func() {
+		for range time.Tick(*refresh) {
+			log.Print("daily refresh: rotating model and caches")
+			dep.DailyRefresh(responder, 2048)
+		}
+	}()
+
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, serving.NewHTTPHandler(dep)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Search-relevance example: reproduce the Table 6 comparison on one
+// synthetic ESCI locale — cross-encoder with and without COSMO intention
+// knowledge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/core"
+	"cosmo/internal/cosmolm"
+	"cosmo/internal/relevance"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Behavior.CoBuyEvents = 6000
+	cfg.Behavior.SearchEvents = 6000
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	knowledge := func(query string, p catalog.Product) string {
+		out := ""
+		for i, g := range res.CosmoLM.Generate(
+			cosmolm.SearchContext(query, p.Title), p.Category, "", 2) {
+			if i > 0 {
+				out += "; "
+			}
+			out += g.Text
+		}
+		return out
+	}
+
+	gen := relevance.NewGenerator(res.Catalog, knowledge)
+	ds := gen.Generate(relevance.Locale{Name: "demo", TrainPairs: 2000, TestPairs: 700, Seed: 11})
+
+	fmt.Println("training cross-encoder (fixed encoder)...")
+	cm, ci := relevance.TrainAndEvaluate(
+		relevance.DefaultModelConfig(relevance.CrossEncoder, false), ds)
+	fmt.Println("training cross-encoder w/ COSMO intent (fixed encoder)...")
+	im, ii := relevance.TrainAndEvaluate(
+		relevance.DefaultModelConfig(relevance.CrossEncoderIntent, false), ds)
+
+	fmt.Printf("\n%-26s %10s %10s\n", "method", "MacroF1", "MicroF1")
+	fmt.Printf("%-26s %10.2f %10.2f\n", "Cross-encoder", cm*100, ci*100)
+	fmt.Printf("%-26s %10.2f %10.2f\n", "Cross-encoder w/ Intent", im*100, ii*100)
+	fmt.Printf("Δ MacroF1: %+.1f%% (paper Table 6: +60%% with fixed encoders)\n",
+		100*(im-cm)/cm)
+}

@@ -1,0 +1,66 @@
+// Serving example: the Figure 5 deployment in miniature — two-layer
+// async cache, batch processing, daily refresh — driven by synthetic
+// traffic, printing hit-rate and latency statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cosmo/internal/core"
+	"cosmo/internal/serving"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Behavior.CoBuyEvents = 5000
+	cfg.Behavior.SearchEvents = 5000
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	responder := serving.ResponderFunc(func(q string) serving.Feature {
+		gens := res.CosmoLM.Generate("search query: "+q, "", "", 3)
+		f := serving.Feature{Query: q}
+		for _, g := range gens {
+			f.Intents = append(f.Intents, g.Text)
+			f.Relations = append(f.Relations, string(g.Relation))
+		}
+		return f
+	})
+	dep := serving.NewDeployment(serving.DeployConfig{DailyCacheCap: 256}, responder)
+
+	// Build a Zipf-ish traffic stream from the behavior log's queries.
+	var pool []string
+	for _, e := range res.SampledSearchBuys {
+		pool = append(pool, e.Query)
+	}
+	rng := rand.New(rand.NewSource(7))
+	day := func(n int) {
+		for i := 0; i < n; i++ {
+			q := pool[int(rng.Float64()*rng.Float64()*float64(len(pool)))]
+			dep.HandleQuery(q)
+			if i%100 == 0 {
+				dep.RunBatch(64)
+			}
+		}
+		dep.RunBatch(1 << 20)
+	}
+
+	fmt.Println("day 1 (cold caches)...")
+	day(20000)
+	s1 := dep.Cache.Stats()
+	fmt.Printf("  hit rate %.1f%% (yearly %d / daily %d)\n", s1.HitRate()*100, s1.YearlyHits, s1.DailyHits)
+
+	fmt.Println("daily refresh: new model version + yearly preload from feedback loop")
+	dep.DailyRefresh(responder, 512)
+
+	fmt.Println("day 2 (warm yearly layer)...")
+	day(20000)
+	s2 := dep.Cache.Stats()
+	p50, p99 := dep.LatencyPercentiles()
+	fmt.Printf("  cumulative hit rate %.1f%%, model version %d\n", s2.HitRate()*100, dep.Version())
+	fmt.Printf("  latency p50=%.1fms p99=%.1fms\n", p50, p99)
+}

@@ -1,0 +1,38 @@
+// Session-recommendation example: COSMO-GNN vs GCE-GNN on simulated
+// electronics sessions (the Table 8 headline comparison).
+package main
+
+import (
+	"fmt"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/session"
+)
+
+func main() {
+	// A sparse world (many products per type) is where intent knowledge
+	// pays off: item co-occurrence alone cannot cover the tail.
+	cat := catalog.Generate(catalog.Config{ProductsPerType: 8, Seed: 1})
+	ds := session.Build(cat, session.ElectronicsConfig(900))
+	fmt.Printf("electronics sessions: train=%d dev=%d test=%d items=%d\n",
+		len(ds.Train), len(ds.Dev), len(ds.Test), ds.NumItems())
+
+	cfg := session.DefaultTrainConfig()
+	cfg.Epochs = 4
+	cfg.MaxTrainSessions = 400
+
+	fmt.Println("training GCE-GNN...")
+	gce := session.NewGCEGNN()
+	gce.Fit(ds, cfg)
+	gh, gn, gm := session.Evaluate(gce, ds.Test, 10)
+
+	fmt.Println("training COSMO-GNN (with oracle intent knowledge)...")
+	cosmo := session.NewCOSMOGNN(session.OracleKnowledge(cat))
+	cosmo.Fit(ds, cfg)
+	ch, cn, cm := session.Evaluate(cosmo, ds.Test, 10)
+
+	fmt.Printf("\n%-10s %8s %8s %8s\n", "method", "Hits@10", "NDCG@10", "MRR@10")
+	fmt.Printf("%-10s %8.2f %8.2f %8.2f\n", "GCE-GNN", gh*100, gn*100, gm*100)
+	fmt.Printf("%-10s %8.2f %8.2f %8.2f\n", "COSMO-GNN", ch*100, cn*100, cm*100)
+	fmt.Printf("Δ Hits@10: %+.1f%% (paper Table 8: +5.8%% on electronics)\n", 100*(ch-gh)/gh)
+}

@@ -1,0 +1,3 @@
+module cosmo
+
+go 1.22

@@ -1,0 +1,144 @@
+package annotation
+
+import (
+	"testing"
+
+	"cosmo/internal/know"
+	"cosmo/internal/llm"
+)
+
+func makeCandidates(n int, truth llm.Truth) []know.Candidate {
+	out := make([]know.Candidate, n)
+	for i := range out {
+		out[i] = know.Candidate{ID: i, Text: "capable of holding snacks", Truth: truth}
+	}
+	return out
+}
+
+var typicalTruth = llm.Truth{
+	Complete: true, Relevant: true, Informative: true,
+	Plausible: true, Typical: true, Mode: llm.ModeTypical,
+}
+
+var genericTruth = llm.Truth{
+	Complete: true, Relevant: true, Informative: false,
+	Plausible: true, Typical: false, Mode: llm.ModeGeneric,
+}
+
+func TestAnnotationAccuracyAboveNinety(t *testing.T) {
+	// The paper's audit bar: >90% accuracy.
+	o := NewOracle(DefaultConfig())
+	cands := append(makeCandidates(500, typicalTruth), makeCandidates(500, genericTruth)...)
+	anns := o.AnnotateAll(cands)
+	rep := o.Audit(cands, anns, 1.0)
+	if acc := rep.Accuracy(); acc < 0.90 {
+		t.Errorf("audit accuracy %.3f below 0.90", acc)
+	}
+}
+
+func TestAuditSampling(t *testing.T) {
+	o := NewOracle(DefaultConfig())
+	cands := makeCandidates(1000, typicalTruth)
+	anns := o.AnnotateAll(cands)
+	rep := o.Audit(cands, anns, 0.05)
+	// 5% of 1000 = 50 annotations × 5 questions.
+	if rep.Checked != 50*5 {
+		t.Errorf("audit checked %d question-judgments, want 250", rep.Checked)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	o := NewOracle(Config{Seed: 1, AnnotatorErrorRate: 0, AdjudicatorErrorRate: 0, NotSureRate: 0})
+	cands := append(makeCandidates(300, typicalTruth), makeCandidates(700, genericTruth)...)
+	anns := o.AnnotateAll(cands)
+	p, ty := Ratios(anns)
+	if p != 1.0 {
+		t.Errorf("plausible ratio %.3f, want 1.0 with perfect annotators", p)
+	}
+	if ty != 0.3 {
+		t.Errorf("typical ratio %.3f, want 0.3", ty)
+	}
+}
+
+func TestRatiosEmpty(t *testing.T) {
+	p, ty := Ratios(nil)
+	if p != 0 || ty != 0 {
+		t.Error("empty ratios should be zero")
+	}
+}
+
+func TestPerfectAnnotatorsNeverDisagree(t *testing.T) {
+	o := NewOracle(Config{Seed: 1, AnnotatorErrorRate: 0, AdjudicatorErrorRate: 0, NotSureRate: 0})
+	anns := o.AnnotateAll(makeCandidates(200, typicalTruth))
+	if r := DisagreementRate(anns); r != 0 {
+		t.Errorf("perfect annotators disagreed at rate %.3f", r)
+	}
+}
+
+func TestNoisyAnnotatorsDisagreeSometimes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AnnotatorErrorRate = 0.15
+	o := NewOracle(cfg)
+	anns := o.AnnotateAll(makeCandidates(500, typicalTruth))
+	r := DisagreementRate(anns)
+	if r == 0 {
+		t.Error("noisy annotators should disagree occasionally")
+	}
+	if r > 0.95 {
+		t.Errorf("disagreement rate %.2f implausibly high", r)
+	}
+}
+
+func TestAdjudicationImprovesOverSingleAnnotator(t *testing.T) {
+	// The two+adjudicator protocol must beat a single noisy annotator.
+	cfg := Config{Seed: 5, AnnotatorErrorRate: 0.2, AdjudicatorErrorRate: 0.05, NotSureRate: 0.05}
+	o := NewOracle(cfg)
+	cands := append(makeCandidates(1000, typicalTruth), makeCandidates(1000, genericTruth)...)
+	anns := o.AnnotateAll(cands)
+	protocolAcc := o.Audit(cands, anns, 1.0).Accuracy()
+	// A single annotator with NotSure→wrong has expected accuracy
+	// ≈ (1-notSure)·(1-err) = 0.95·0.8 = 0.76.
+	if protocolAcc <= 0.80 {
+		t.Errorf("protocol accuracy %.3f should beat single-annotator ~0.76", protocolAcc)
+	}
+}
+
+func TestAnswersAlwaysCommitted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NotSureRate = 0.5 // force heavy uncertainty
+	o := NewOracle(cfg)
+	for _, a := range o.AnnotateAll(makeCandidates(300, typicalTruth)) {
+		for q, ans := range a.Answers {
+			if ans == NotSure {
+				t.Fatalf("final answer for %s is NotSure; adjudication must commit", QuestionNames[q])
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cands := makeCandidates(100, typicalTruth)
+	a1 := NewOracle(DefaultConfig()).AnnotateAll(cands)
+	a2 := NewOracle(DefaultConfig()).AnnotateAll(cands)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("annotation %d differs", i)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	// Search-buy typicality must exceed co-buy typicality after
+	// annotation, as in paper Table 4. Use the teacher's mode mixture
+	// directly: co-buy candidates include one-sided generations.
+	o := NewOracle(DefaultConfig())
+	oneSided := llm.Truth{Complete: true, Relevant: true, Informative: true,
+		Plausible: true, Typical: false, Mode: llm.ModeOneSided}
+	coBuy := append(makeCandidates(350, typicalTruth), makeCandidates(650, oneSided)...)
+	searchBuy := append(makeCandidates(600, typicalTruth), makeCandidates(400, genericTruth)...)
+	_, tyCo := Ratios(o.AnnotateAll(coBuy))
+	_, tySb := Ratios(o.AnnotateAll(searchBuy))
+	if tySb <= tyCo {
+		t.Errorf("search-buy typicality %.2f should exceed co-buy %.2f", tySb, tyCo)
+	}
+}

@@ -1,0 +1,86 @@
+package behavior
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosmo/internal/catalog"
+)
+
+func TestEventConservation(t *testing.T) {
+	c := catalog.Generate(catalog.Config{ProductsPerType: 3, Seed: 1})
+	cfg := Config{Seed: 9, CoBuyEvents: 3000, SearchEvents: 3000, NoiseRate: 0.2, BroadQueryRate: 0.3}
+	l := Simulate(c, cfg)
+	// Every co-buy event lands in exactly one aggregated edge.
+	total := 0
+	for _, e := range l.CoBuys {
+		total += e.Count
+	}
+	if total != cfg.CoBuyEvents {
+		t.Errorf("co-buy events: %d aggregated of %d simulated", total, cfg.CoBuyEvents)
+	}
+}
+
+func TestSearchBuyClickPurchaseInvariant(t *testing.T) {
+	c := catalog.Generate(catalog.Config{ProductsPerType: 3, Seed: 1})
+	l := Simulate(c, DefaultConfig())
+	for _, e := range l.SearchBuys {
+		if e.Purchases > e.Clicks {
+			t.Fatalf("purchases %d > clicks %d for %q", e.Purchases, e.Clicks, e.Query)
+		}
+		if e.Purchases < 0 || e.Clicks < 1 {
+			t.Fatalf("bad engagement: %+v", e)
+		}
+	}
+}
+
+func TestNoSelfCoBuys(t *testing.T) {
+	c := catalog.Generate(catalog.Config{ProductsPerType: 3, Seed: 1})
+	l := Simulate(c, DefaultConfig())
+	for _, e := range l.CoBuys {
+		if e.A == e.B {
+			t.Fatalf("self co-buy: %s", e.A)
+		}
+	}
+}
+
+func TestBroadQueryNeverEmptyProperty(t *testing.T) {
+	f := func(tail string) bool {
+		in := catalog.Intent{Tail: tail}
+		q := BroadQuery(in)
+		// BroadQuery must return the tail itself when it cannot find a
+		// content word, never an empty string for non-empty input.
+		return tail == "" || q != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroNoiseRateAllIntentional(t *testing.T) {
+	c := catalog.Generate(catalog.Config{ProductsPerType: 3, Seed: 1})
+	l := Simulate(c, Config{Seed: 5, CoBuyEvents: 2000, SearchEvents: 2000, NoiseRate: 0, BroadQueryRate: 0.3})
+	for _, e := range l.CoBuys {
+		if !e.Intentional {
+			// A product type without complements forces a noise draw even
+			// at rate zero; all curated types have complements, so this
+			// should not happen.
+			t.Fatalf("noise co-buy at zero noise rate: %s", e)
+		}
+	}
+}
+
+func TestFullNoiseRateNoIntentional(t *testing.T) {
+	c := catalog.Generate(catalog.Config{ProductsPerType: 3, Seed: 1})
+	l := Simulate(c, Config{Seed: 5, CoBuyEvents: 2000, SearchEvents: 2000, NoiseRate: 1.0, BroadQueryRate: 0.3})
+	for _, e := range l.CoBuys {
+		if e.Intentional {
+			t.Fatalf("intentional co-buy at full noise rate: %s", e)
+		}
+	}
+	for _, e := range l.SearchBuys {
+		if e.Intentional {
+			t.Fatalf("intentional search at full noise rate: %+v", e)
+		}
+	}
+}

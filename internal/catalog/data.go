@@ -1,0 +1,679 @@
+package catalog
+
+import "cosmo/internal/relations"
+
+// it builds an Intent literal tersely.
+func it(r relations.Relation, tail string) Intent { return Intent{Relation: r, Tail: tail} }
+
+// worldData is the curated synthetic world: product types across the 18
+// paper categories, each with ground-truth intents and complement links.
+// Complementary types share at least one intent — that shared intent is
+// the "reason" behind intentional co-purchases, mirroring Figure 1 of the
+// paper ("to attend a wedding party, we need to buy normal clothes").
+var worldData = []ProductType{
+	// ----- Clothing, Shoes & Jewelry -----
+	{"wedding suit", Clothing, []Intent{
+		it(relations.UsedForEve, "attend a wedding party"),
+		it(relations.IsA, "normal suit"),
+		it(relations.UsedBy, "groom"),
+	}, []string{"dress shoes", "tie"}},
+	{"dress shoes", Clothing, []Intent{
+		it(relations.UsedForEve, "attend a wedding party"),
+		it(relations.UsedForFunc, "complete a formal outfit"),
+	}, []string{"wedding suit"}},
+	{"tie", Clothing, []Intent{
+		it(relations.UsedForEve, "attend a wedding party"),
+		it(relations.UsedWith, "formal shirt"),
+	}, []string{"wedding suit"}},
+	{"winter jacket", Clothing, []Intent{
+		it(relations.UsedForFunc, "keep warm"),
+		it(relations.UsedOn, "late winter"),
+	}, []string{"winter boots", "wool scarf"}},
+	{"winter boots", Clothing, []Intent{
+		it(relations.UsedForFunc, "keep warm"),
+		it(relations.UsedForEve, "winter camping"),
+		it(relations.UsedOn, "late winter"),
+	}, []string{"winter jacket"}},
+	{"wool scarf", Clothing, []Intent{
+		it(relations.UsedForFunc, "keep warm"),
+		it(relations.UsedOn, "late winter"),
+	}, []string{"winter jacket"}},
+	{"running shorts", Clothing, []Intent{
+		it(relations.UsedForEve, "run a marathon"),
+		it(relations.UsedBy, "runners"),
+	}, []string{"running shoes"}},
+	{"cycling jersey", Clothing, []Intent{
+		it(relations.UsedForEve, "biking on trails"),
+		it(relations.UsedBy, "cyclists"),
+	}, []string{"bike helmet"}},
+
+	// ----- Sports & Outdoors -----
+	{"tent", Sports, []Intent{
+		it(relations.UsedForEve, "camping"),
+		it(relations.UsedForEve, "camping in the mountains"),
+		it(relations.CapableOf, "sheltering four people"),
+	}, []string{"sleeping bag", "camping stove", "air mattress"}},
+	{"sleeping bag", Sports, []Intent{
+		it(relations.UsedForEve, "camping in the mountains"),
+		it(relations.UsedForFunc, "keep warm"),
+	}, []string{"tent", "air mattress"}},
+	{"air mattress", Sports, []Intent{
+		it(relations.UsedForEve, "camping in the mountains"),
+		it(relations.UsedForEve, "lakeside camping"),
+		it(relations.CapableOf, "sleeping two adults"),
+	}, []string{"tent"}},
+	{"camping stove", Sports, []Intent{
+		it(relations.UsedForEve, "camping in the mountains"),
+		it(relations.UsedTo, "cook meals outdoors"),
+	}, []string{"tent"}},
+	{"running shoes", Sports, []Intent{
+		it(relations.UsedForEve, "running"),
+		it(relations.UsedForEve, "run a marathon"),
+		it(relations.CapableOf, "providing arch support"),
+		it(relations.UsedBy, "runners"),
+	}, []string{"running shorts", "fitness tracker"}},
+	{"bike helmet", Sports, []Intent{
+		it(relations.UsedForEve, "biking on trails"),
+		it(relations.UsedForFunc, "protect the head"),
+	}, []string{"cycling jersey"}},
+	{"yoga mat", Sports, []Intent{
+		it(relations.UsedForEve, "practice yoga"),
+		it(relations.UsedInLoc, "home gym"),
+	}, []string{"foam roller"}},
+	{"foam roller", Sports, []Intent{
+		it(relations.UsedForEve, "practice yoga"),
+		it(relations.UsedForFunc, "relieve muscle soreness"),
+	}, []string{"yoga mat"}},
+	{"fishing rod", Sports, []Intent{
+		it(relations.UsedForEve, "fishing at the lake"),
+		it(relations.UsedBy, "anglers"),
+	}, []string{"tackle box"}},
+	{"tackle box", Sports, []Intent{
+		it(relations.UsedForEve, "fishing at the lake"),
+		it(relations.CapableOf, "organizing lures"),
+	}, []string{"fishing rod"}},
+
+	// ----- Home & Kitchen -----
+	{"potato peeler", HomeKitchen, []Intent{
+		it(relations.UsedForFunc, "peeling potatoes"),
+		it(relations.UsedInLoc, "kitchen"),
+	}, []string{"chef knife", "cutting board"}},
+	{"chef knife", HomeKitchen, []Intent{
+		it(relations.UsedTo, "chop vegetables"),
+		it(relations.UsedInLoc, "kitchen"),
+		it(relations.UsedTo, "keep blades sharp"),
+	}, []string{"cutting board", "knife sharpener"}},
+	{"cutting board", HomeKitchen, []Intent{
+		it(relations.UsedTo, "chop vegetables"),
+		it(relations.UsedInLoc, "kitchen"),
+		it(relations.UsedWith, "chef knife"),
+	}, []string{"chef knife"}},
+	{"snack bowl", HomeKitchen, []Intent{
+		it(relations.CapableOf, "holding snacks"),
+		it(relations.UsedForEve, "host a movie night"),
+	}, []string{"serving tray"}},
+	{"serving tray", HomeKitchen, []Intent{
+		it(relations.UsedForEve, "host a movie night"),
+		it(relations.CapableOf, "carrying drinks"),
+	}, []string{"snack bowl"}},
+	{"espresso machine", HomeKitchen, []Intent{
+		it(relations.UsedTo, "brew espresso at home"),
+		it(relations.UsedBy, "coffee lovers"),
+	}, []string{"coffee grinder", "milk frother"}},
+	{"coffee grinder", HomeKitchen, []Intent{
+		it(relations.UsedTo, "brew espresso at home"),
+		it(relations.CapableOf, "grinding fresh beans"),
+	}, []string{"espresso machine"}},
+	{"milk frother", HomeKitchen, []Intent{
+		it(relations.UsedTo, "brew espresso at home"),
+		it(relations.UsedTo, "make latte art"),
+	}, []string{"espresso machine"}},
+	{"bed sheets", HomeKitchen, []Intent{
+		it(relations.UsedInLoc, "bedroom"),
+		it(relations.UsedForFunc, "sleep comfortably"),
+	}, []string{"pillow"}},
+	{"pillow", HomeKitchen, []Intent{
+		it(relations.UsedInLoc, "bedroom"),
+		it(relations.UsedForFunc, "sleep comfortably"),
+		it(relations.UsedInBody, "neck"),
+	}, []string{"bed sheets"}},
+
+	// ----- Patio, Lawn & Garden -----
+	{"patio chair", PatioGarden, []Intent{
+		it(relations.CapableOf, "hanging out in the backyard"),
+		it(relations.UsedInLoc, "patio"),
+	}, []string{"patio table", "outdoor umbrella"}},
+	{"patio table", PatioGarden, []Intent{
+		it(relations.CapableOf, "hanging out in the backyard"),
+		it(relations.UsedInLoc, "patio"),
+	}, []string{"patio chair"}},
+	{"outdoor umbrella", PatioGarden, []Intent{
+		it(relations.CapableOf, "hanging out in the backyard"),
+		it(relations.UsedForFunc, "provide shade"),
+	}, []string{"patio table"}},
+	{"garden hose", PatioGarden, []Intent{
+		it(relations.UsedTo, "water the garden"),
+		it(relations.UsedBy, "gardeners"),
+	}, []string{"sprinkler"}},
+	{"sprinkler", PatioGarden, []Intent{
+		it(relations.UsedTo, "water the garden"),
+		it(relations.UsedInLoc, "front lawn"),
+	}, []string{"garden hose"}},
+	{"fence post", PatioGarden, []Intent{
+		it(relations.UsedTo, "build a fence"),
+		it(relations.UsedInLoc, "backyard"),
+	}, []string{"post hole digger"}},
+	{"post hole digger", PatioGarden, []Intent{
+		it(relations.UsedTo, "build a fence"),
+		it(relations.CapableOf, "digging a hole"),
+	}, []string{"fence post"}},
+	{"bird feeder", PatioGarden, []Intent{
+		it(relations.UsedTo, "attract songbirds"),
+		it(relations.UsedBy, "bird watchers"),
+	}, []string{"bird seed"}},
+
+	// ----- Tools & Home Improvement -----
+	{"knife sharpener", Tools, []Intent{
+		it(relations.UsedForFunc, "sharpening scissors"),
+		it(relations.UsedTo, "keep blades sharp"),
+	}, []string{"chef knife"}},
+	{"cordless drill", Tools, []Intent{
+		it(relations.UsedTo, "hang shelves"),
+		it(relations.UsedBy, "DIY enthusiasts"),
+	}, []string{"drill bit set", "wall anchors"}},
+	{"drill bit set", Tools, []Intent{
+		it(relations.UsedTo, "hang shelves"),
+		it(relations.UsedWith, "cordless drill"),
+	}, []string{"cordless drill"}},
+	{"wall anchors", Tools, []Intent{
+		it(relations.UsedTo, "hang shelves"),
+		it(relations.CapableOf, "holding a lot of weight"),
+	}, []string{"cordless drill"}},
+	{"paint roller", Tools, []Intent{
+		it(relations.UsedTo, "repaint the living room"),
+		it(relations.UsedWith, "paint tray"),
+	}, []string{"paint tray", "painters tape"}},
+	{"paint tray", Tools, []Intent{
+		it(relations.UsedTo, "repaint the living room"),
+	}, []string{"paint roller"}},
+	{"painters tape", Tools, []Intent{
+		it(relations.UsedTo, "repaint the living room"),
+		it(relations.UsedForFunc, "protect the trim"),
+	}, []string{"paint roller"}},
+	{"work gloves", Tools, []Intent{
+		it(relations.UsedForFunc, "protect the hands"),
+		it(relations.UsedBy, "mechanics"),
+	}, []string{"safety glasses"}},
+	{"safety glasses", Tools, []Intent{
+		it(relations.UsedForFunc, "protect the eyes"),
+		it(relations.UsedBy, "mechanics"),
+	}, []string{"work gloves"}},
+
+	// ----- Musical Instruments -----
+	{"acoustic guitar", Musical, []Intent{
+		it(relations.UsedForEve, "wedding party"),
+		it(relations.UsedBy, "musicians"),
+	}, []string{"guitar strings", "guitar stand"}},
+	{"guitar strings", Musical, []Intent{
+		it(relations.UsedWith, "acoustic guitar"),
+		it(relations.UsedTo, "restring the guitar"),
+	}, []string{"acoustic guitar"}},
+	{"guitar stand", Musical, []Intent{
+		it(relations.UsedWith, "acoustic guitar"),
+		it(relations.CapableOf, "holding the guitar upright"),
+	}, []string{"acoustic guitar"}},
+	{"digital piano", Musical, []Intent{
+		it(relations.UsedTo, "practice piano at home"),
+		it(relations.UsedBy, "students"),
+	}, []string{"piano bench", "sustain pedal"}},
+	{"piano bench", Musical, []Intent{
+		it(relations.UsedTo, "practice piano at home"),
+		it(relations.UsedWith, "digital piano"),
+	}, []string{"digital piano"}},
+	{"sustain pedal", Musical, []Intent{
+		it(relations.UsedTo, "practice piano at home"),
+		it(relations.UsedWith, "digital piano"),
+	}, []string{"digital piano"}},
+	{"microphone", Musical, []Intent{
+		it(relations.UsedTo, "record vocals"),
+		it(relations.UsedInLoc, "home studio"),
+	}, []string{"mic stand"}},
+	{"mic stand", Musical, []Intent{
+		it(relations.UsedTo, "record vocals"),
+		it(relations.UsedWith, "microphone"),
+	}, []string{"microphone"}},
+
+	// ----- Industrial & Scientific -----
+	{"storage rack", Industrial, []Intent{
+		it(relations.CapableOf, "holding a lot of weight"),
+		it(relations.UsedInLoc, "warehouse"),
+	}, []string{"storage bins"}},
+	{"storage bins", Industrial, []Intent{
+		it(relations.CapableOf, "organizing small parts"),
+		it(relations.UsedInLoc, "warehouse"),
+		it(relations.CapableOf, "holding a lot of weight"),
+	}, []string{"storage rack"}},
+	{"digital caliper", Industrial, []Intent{
+		it(relations.UsedTo, "measure parts precisely"),
+		it(relations.UsedBy, "machinists"),
+	}, []string{"micrometer"}},
+	{"micrometer", Industrial, []Intent{
+		it(relations.UsedTo, "measure parts precisely"),
+		it(relations.UsedBy, "machinists"),
+	}, []string{"digital caliper"}},
+	{"lab coat", Industrial, []Intent{
+		it(relations.UsedBy, "lab technicians"),
+		it(relations.UsedForFunc, "protect clothing from spills"),
+	}, []string{"nitrile gloves"}},
+	{"nitrile gloves", Industrial, []Intent{
+		it(relations.UsedBy, "lab technicians"),
+		it(relations.UsedForFunc, "protect the hands"),
+	}, []string{"lab coat"}},
+	{"packing tape", Industrial, []Intent{
+		it(relations.UsedTo, "seal shipping boxes"),
+		it(relations.UsedWith, "shipping boxes"),
+	}, []string{"shipping boxes"}},
+	{"shipping boxes", Industrial, []Intent{
+		it(relations.UsedTo, "seal shipping boxes"),
+		it(relations.CapableOf, "protecting items in transit"),
+	}, []string{"packing tape"}},
+
+	// ----- Automotive -----
+	{"car jack", Automotive, []Intent{
+		it(relations.UsedTo, "change a flat tire"),
+		it(relations.CapableOf, "lifting the car safely"),
+	}, []string{"lug wrench"}},
+	{"lug wrench", Automotive, []Intent{
+		it(relations.UsedTo, "change a flat tire"),
+	}, []string{"car jack"}},
+	{"car wax", Automotive, []Intent{
+		it(relations.UsedTo, "polish the car"),
+		it(relations.UsedWith, "microfiber towels"),
+	}, []string{"microfiber towels"}},
+	{"microfiber towels", Automotive, []Intent{
+		it(relations.UsedTo, "polish the car"),
+		it(relations.CapableOf, "cleaning without scratches"),
+	}, []string{"car wax"}},
+	{"dash camera", Automotive, []Intent{
+		it(relations.UsedTo, "record the road"),
+		it(relations.UsedBy, "commuters"),
+		it(relations.UsedWith, "memory card"),
+	}, []string{"memory card"}},
+	{"floor mats", Automotive, []Intent{
+		it(relations.UsedForFunc, "protect the car floor"),
+		it(relations.UsedInLoc, "car interior"),
+	}, []string{"trunk liner"}},
+	{"trunk liner", Automotive, []Intent{
+		it(relations.UsedForFunc, "protect the car floor"),
+		it(relations.UsedInLoc, "car interior"),
+	}, []string{"floor mats"}},
+	{"jumper cables", Automotive, []Intent{
+		it(relations.UsedTo, "jump start a dead battery"),
+		it(relations.UsedBy, "commuters"),
+	}, []string{"roadside kit"}},
+	{"roadside kit", Automotive, []Intent{
+		it(relations.UsedTo, "jump start a dead battery"),
+		it(relations.UsedForEve, "road trip emergencies"),
+	}, []string{"jumper cables"}},
+
+	// ----- Electronics -----
+	{"camera case", Electronics, []Intent{
+		it(relations.CapableOf, "providing protection for camera"),
+		it(relations.UsedWith, "mirrorless camera"),
+	}, []string{"screen protector glass", "mirrorless camera"}},
+	{"screen protector glass", Electronics, []Intent{
+		it(relations.CapableOf, "providing protection for camera"),
+		it(relations.UsedForFunc, "prevent screen scratches"),
+	}, []string{"camera case"}},
+	{"mirrorless camera", Electronics, []Intent{
+		it(relations.UsedTo, "shoot travel photos"),
+		it(relations.UsedBy, "photographers"),
+	}, []string{"camera case", "memory card", "tripod"}},
+	{"memory card", Electronics, []Intent{
+		it(relations.CapableOf, "storing thousands of photos"),
+		it(relations.UsedWith, "mirrorless camera"),
+	}, []string{"mirrorless camera"}},
+	{"tripod", Electronics, []Intent{
+		it(relations.UsedTo, "shoot travel photos"),
+		it(relations.CapableOf, "holding the camera steady"),
+	}, []string{"mirrorless camera"}},
+	{"smart watch", Electronics, []Intent{
+		it(relations.IsA, "intelligent watch"),
+		it(relations.CapableOf, "tracking calories burned"),
+		it(relations.UsedBy, "runners"),
+	}, []string{"fitness tracker", "watch band"}},
+	{"fitness tracker", Electronics, []Intent{
+		it(relations.CapableOf, "tracking calories burned"),
+		it(relations.UsedForEve, "run a marathon"),
+	}, []string{"smart watch", "running shoes"}},
+	{"watch band", Electronics, []Intent{
+		it(relations.UsedWith, "smart watch"),
+	}, []string{"smart watch"}},
+	{"noise cancelling headphones", Electronics, []Intent{
+		it(relations.UsedForFunc, "block out noise"),
+		it(relations.UsedBy, "travelers"),
+	}, []string{"headphone case"}},
+	{"headphone case", Electronics, []Intent{
+		it(relations.UsedTo, "protect the headset"),
+		it(relations.UsedWith, "noise cancelling headphones"),
+	}, []string{"noise cancelling headphones"}},
+	{"surface cover", Electronics, []Intent{
+		it(relations.UsedWith, "tablet computer"),
+		it(relations.UsedForFunc, "prevent screen scratches"),
+	}, []string{"tablet computer"}},
+	{"tablet computer", Electronics, []Intent{
+		it(relations.UsedTo, "watch movies in bed"),
+		it(relations.UsedBy, "students"),
+	}, []string{"surface cover"}},
+
+	// ----- Baby Products -----
+	{"baby booties", Baby, []Intent{
+		it(relations.CapableOf, "keeping the baby's feet dry"),
+		it(relations.UsedBy, "babies"),
+	}, []string{"baby socks"}},
+	{"baby socks", Baby, []Intent{
+		it(relations.CapableOf, "keeping the baby's feet dry"),
+		it(relations.UsedBy, "babies"),
+	}, []string{"baby booties"}},
+	{"baby monitor", Baby, []Intent{
+		it(relations.CapableOf, "watching the baby at night"),
+		it(relations.UsedBy, "parents"),
+		it(relations.UsedInLoc, "nursery"),
+	}, []string{"crib"}},
+	{"crib", Baby, []Intent{
+		it(relations.UsedInLoc, "nursery"),
+		it(relations.CapableOf, "keeping the baby safe while sleeping"),
+	}, []string{"crib mattress", "baby monitor"}},
+	{"crib mattress", Baby, []Intent{
+		it(relations.UsedInLoc, "nursery"),
+		it(relations.UsedWith, "crib"),
+	}, []string{"crib"}},
+	{"diaper bag", Baby, []Intent{
+		it(relations.CapableOf, "carrying baby essentials"),
+		it(relations.UsedBy, "parents"),
+	}, []string{"changing pad"}},
+	{"changing pad", Baby, []Intent{
+		it(relations.CapableOf, "carrying baby essentials"),
+		it(relations.UsedWith, "diaper bag"),
+	}, []string{"diaper bag"}},
+	{"nursing pillow", Baby, []Intent{
+		it(relations.UsedBy, "pregnant women"),
+		it(relations.XIsA, "pregnant women"),
+		it(relations.UsedForFunc, "support the baby while feeding"),
+	}, []string{"burp cloths"}},
+	{"burp cloths", Baby, []Intent{
+		it(relations.UsedForFunc, "support the baby while feeding"),
+		it(relations.UsedBy, "parents"),
+	}, []string{"nursing pillow"}},
+
+	// ----- Arts, Crafts & Sewing -----
+	{"fabric stamp", ArtsCrafts, []Intent{
+		it(relations.UsedForFunc, "stamping on fabric"),
+		it(relations.UsedBy, "crafters"),
+	}, []string{"fabric ink pad"}},
+	{"fabric ink pad", ArtsCrafts, []Intent{
+		it(relations.UsedForFunc, "stamping on fabric"),
+		it(relations.UsedWith, "fabric stamp"),
+	}, []string{"fabric stamp"}},
+	{"sewing machine", ArtsCrafts, []Intent{
+		it(relations.UsedTo, "sew a quilt"),
+		it(relations.UsedBy, "quilters"),
+	}, []string{"quilting thread", "fabric scissors"}},
+	{"quilting thread", ArtsCrafts, []Intent{
+		it(relations.UsedTo, "sew a quilt"),
+		it(relations.UsedWith, "sewing machine"),
+	}, []string{"sewing machine"}},
+	{"fabric scissors", ArtsCrafts, []Intent{
+		it(relations.UsedTo, "sew a quilt"),
+		it(relations.CapableOf, "cutting fabric cleanly"),
+	}, []string{"sewing machine"}},
+	{"acrylic paint set", ArtsCrafts, []Intent{
+		it(relations.UsedTo, "paint on canvas"),
+		it(relations.UsedBy, "beginners"),
+	}, []string{"canvas panels", "paint brushes"}},
+	{"canvas panels", ArtsCrafts, []Intent{
+		it(relations.UsedTo, "paint on canvas"),
+	}, []string{"acrylic paint set"}},
+	{"paint brushes", ArtsCrafts, []Intent{
+		it(relations.UsedTo, "paint on canvas"),
+		it(relations.UsedWith, "acrylic paint set"),
+	}, []string{"acrylic paint set"}},
+
+	// ----- Health & Household -----
+	{"face towel", Health, []Intent{
+		it(relations.UsedForFunc, "dry face"),
+		it(relations.UsedInLoc, "bathroom"),
+	}, []string{"facial cleanser"}},
+	{"facial cleanser", Health, []Intent{
+		it(relations.UsedForFunc, "dry face"),
+		it(relations.UsedInBody, "sensitive skin"),
+	}, []string{"face towel", "moisturizer"}},
+	{"moisturizer", Health, []Intent{
+		it(relations.CapableOf, "hydrating the skin"),
+		it(relations.UsedInBody, "sensitive skin"),
+	}, []string{"facial cleanser", "sunscreen"}},
+	{"sunscreen", Health, []Intent{
+		it(relations.CapableOf, "hydrating the skin"),
+		it(relations.UsedForFunc, "protect skin from the sun"),
+		it(relations.UsedOn, "summer"),
+	}, []string{"moisturizer"}},
+	{"herbal tea", Health, []Intent{
+		it(relations.XInterestdIn, "herbal medicine"),
+		it(relations.UsedTo, "relax before bed"),
+	}, []string{"tea infuser"}},
+	{"tea infuser", Health, []Intent{
+		it(relations.XInterestdIn, "herbal medicine"),
+		it(relations.UsedWith, "herbal tea"),
+	}, []string{"herbal tea"}},
+	{"vitamin supplements", Health, []Intent{
+		it(relations.XInterestdIn, "herbal medicine"),
+		it(relations.UsedTo, "support the immune system"),
+		it(relations.UsedBy, "seniors"),
+	}, []string{"pill organizer"}},
+	{"pill organizer", Health, []Intent{
+		it(relations.UsedBy, "seniors"),
+		it(relations.CapableOf, "sorting weekly medication"),
+	}, []string{"vitamin supplements"}},
+	{"blister bandages", Health, []Intent{
+		it(relations.UsedTo, "prevent blisters"),
+		it(relations.UsedInBody, "feet"),
+		it(relations.UsedForEve, "run a marathon"),
+	}, []string{"running shoes"}},
+
+	// ----- Toys & Games -----
+	{"toy drone", Toys, []Intent{
+		it(relations.CapableOf, "flying in the air"),
+		it(relations.UsedBy, "kids"),
+	}, []string{"drone batteries"}},
+	{"drone batteries", Toys, []Intent{
+		it(relations.CapableOf, "flying in the air"),
+		it(relations.UsedWith, "toy drone"),
+	}, []string{"toy drone"}},
+	{"board game", Toys, []Intent{
+		it(relations.UsedForEve, "family game night"),
+		it(relations.UsedBy, "kids"),
+	}, []string{"card sleeves"}},
+	{"card sleeves", Toys, []Intent{
+		it(relations.UsedForEve, "family game night"),
+		it(relations.UsedForFunc, "protect the cards"),
+	}, []string{"board game"}},
+	{"building blocks", Toys, []Intent{
+		it(relations.UsedBy, "kids"),
+		it(relations.CapableOf, "developing motor skills"),
+	}, []string{"block table"}},
+	{"block table", Toys, []Intent{
+		it(relations.UsedBy, "kids"),
+		it(relations.UsedWith, "building blocks"),
+	}, []string{"building blocks"}},
+	{"kite", Toys, []Intent{
+		it(relations.CapableOf, "flying in the air"),
+		it(relations.UsedForEve, "a day at the beach"),
+	}, []string{"kite string"}},
+	{"kite string", Toys, []Intent{
+		it(relations.CapableOf, "flying in the air"),
+		it(relations.UsedWith, "kite"),
+	}, []string{"kite"}},
+
+	// ----- Video Games -----
+	{"gaming headset", VideoGames, []Intent{
+		it(relations.UsedBy, "gamers"),
+		it(relations.UsedTo, "chat with teammates"),
+	}, []string{"headset stand", "gaming controller"}},
+	{"headset stand", VideoGames, []Intent{
+		it(relations.UsedTo, "protect the headset"),
+		it(relations.UsedWith, "gaming headset"),
+	}, []string{"gaming headset"}},
+	{"gaming controller", VideoGames, []Intent{
+		it(relations.UsedBy, "gamers"),
+		it(relations.UsedTo, "play racing games"),
+	}, []string{"controller charger"}},
+	{"controller charger", VideoGames, []Intent{
+		it(relations.UsedBy, "gamers"),
+		it(relations.UsedWith, "gaming controller"),
+	}, []string{"gaming controller"}},
+	{"gaming chair", VideoGames, []Intent{
+		it(relations.UsedBy, "gamers"),
+		it(relations.CapableOf, "supporting long sessions"),
+	}, []string{"gaming desk"}},
+	{"gaming desk", VideoGames, []Intent{
+		it(relations.UsedBy, "gamers"),
+		it(relations.UsedInLoc, "game room"),
+	}, []string{"gaming chair"}},
+
+	// ----- Grocery & Gourmet Food -----
+	{"russet potatoes", Grocery, []Intent{
+		it(relations.UsedTo, "make potato chips"),
+		it(relations.UsedTo, "cook meals outdoors"),
+	}, []string{"frying oil"}},
+	{"frying oil", Grocery, []Intent{
+		it(relations.UsedTo, "make potato chips"),
+	}, []string{"russet potatoes"}},
+	{"pancake mix", Grocery, []Intent{
+		it(relations.UsedForEve, "weekend family breakfast"),
+	}, []string{"maple syrup"}},
+	{"maple syrup", Grocery, []Intent{
+		it(relations.UsedForEve, "weekend family breakfast"),
+		it(relations.UsedWith, "pancake mix"),
+	}, []string{"pancake mix"}},
+	{"espresso beans", Grocery, []Intent{
+		it(relations.UsedTo, "brew espresso at home"),
+		it(relations.UsedBy, "coffee lovers"),
+	}, []string{"espresso machine"}},
+	{"trail mix", Grocery, []Intent{
+		it(relations.UsedForEve, "hiking in the mountains"),
+		it(relations.CapableOf, "providing quick energy"),
+	}, []string{"water bottle"}},
+	{"water bottle", Grocery, []Intent{
+		it(relations.UsedForEve, "hiking in the mountains"),
+		it(relations.CapableOf, "keeping drinks cold"),
+	}, []string{"trail mix"}},
+	{"green tea", Grocery, []Intent{
+		it(relations.XInterestdIn, "herbal medicine"),
+		it(relations.UsedTo, "relax before bed"),
+	}, []string{"tea infuser"}},
+
+	// ----- Office Products -----
+	{"fountain pen", Office, []Intent{
+		it(relations.UsedForFunc, "writing down important information"),
+		it(relations.UsedBy, "professionals"),
+	}, []string{"notebook", "ink bottle"}},
+	{"notebook", Office, []Intent{
+		it(relations.UsedForFunc, "writing down important information"),
+		it(relations.UsedBy, "students"),
+	}, []string{"fountain pen"}},
+	{"ink bottle", Office, []Intent{
+		it(relations.UsedWith, "fountain pen"),
+	}, []string{"fountain pen"}},
+	{"standing desk", Office, []Intent{
+		it(relations.UsedInLoc, "home office"),
+		it(relations.CapableOf, "improving posture"),
+	}, []string{"monitor arm", "desk mat"}},
+	{"monitor arm", Office, []Intent{
+		it(relations.UsedInLoc, "home office"),
+		it(relations.UsedWith, "standing desk"),
+	}, []string{"standing desk"}},
+	{"desk mat", Office, []Intent{
+		it(relations.UsedInLoc, "home office"),
+		it(relations.UsedForFunc, "protect the desk surface"),
+	}, []string{"standing desk"}},
+	{"label maker", Office, []Intent{
+		it(relations.UsedTo, "organize the filing cabinet"),
+		it(relations.UsedBy, "office managers"),
+	}, []string{"label tape"}},
+	{"label tape", Office, []Intent{
+		it(relations.UsedTo, "organize the filing cabinet"),
+		it(relations.UsedWith, "label maker"),
+	}, []string{"label maker"}},
+
+	// ----- Pet Supplies -----
+	{"dog leash", PetSupplies, []Intent{
+		it(relations.UsedForEve, "walking the dog"),
+		it(relations.UsedBy, "dog owner"),
+	}, []string{"dog harness", "dog treats"}},
+	{"dog harness", PetSupplies, []Intent{
+		it(relations.UsedForEve, "walking the dog"),
+		it(relations.UsedBy, "dog owner"),
+	}, []string{"dog leash"}},
+	{"dog treats", PetSupplies, []Intent{
+		it(relations.UsedForEve, "walking the dog"),
+		it(relations.UsedTo, "reward good behavior"),
+	}, []string{"dog leash"}},
+	{"cat tree", PetSupplies, []Intent{
+		it(relations.UsedBy, "cat owner"),
+		it(relations.CapableOf, "keeping the cat entertained"),
+	}, []string{"cat scratcher"}},
+	{"cat scratcher", PetSupplies, []Intent{
+		it(relations.UsedBy, "cat owner"),
+		it(relations.UsedForFunc, "protect the furniture"),
+	}, []string{"cat tree"}},
+	{"aquarium filter", PetSupplies, []Intent{
+		it(relations.UsedTo, "keep the tank water clean"),
+		it(relations.UsedWith, "fish tank"),
+	}, []string{"fish tank"}},
+	{"fish tank", PetSupplies, []Intent{
+		it(relations.UsedTo, "keep the tank water clean"),
+		it(relations.UsedInLoc, "living room"),
+	}, []string{"aquarium filter"}},
+	{"bird seed", PetSupplies, []Intent{
+		it(relations.UsedTo, "attract songbirds"),
+		it(relations.UsedWith, "bird feeder"),
+	}, []string{"bird feeder"}},
+
+	// ----- Others -----
+	{"luggage set", Others, []Intent{
+		it(relations.UsedForEve, "international travel"),
+		it(relations.UsedBy, "travelers"),
+	}, []string{"luggage tags", "packing cubes"}},
+	{"luggage tags", Others, []Intent{
+		it(relations.UsedForEve, "international travel"),
+		it(relations.UsedWith, "luggage set"),
+	}, []string{"luggage set"}},
+	{"packing cubes", Others, []Intent{
+		it(relations.UsedForEve, "international travel"),
+		it(relations.CapableOf, "organizing clothes in a suitcase"),
+	}, []string{"luggage set"}},
+	{"picnic blanket", Others, []Intent{
+		it(relations.UsedForEve, "a day at the beach"),
+		it(relations.UsedInLoc, "park"),
+	}, []string{"cooler bag"}},
+	{"cooler bag", Others, []Intent{
+		it(relations.UsedForEve, "a day at the beach"),
+		it(relations.CapableOf, "keeping drinks cold"),
+	}, []string{"picnic blanket"}},
+	{"tennis racket", Others, []Intent{
+		it(relations.XWant, "play tennis"),
+		it(relations.UsedBy, "beginners"),
+	}, []string{"tennis balls"}},
+	{"tennis balls", Others, []Intent{
+		it(relations.XWant, "play tennis"),
+		it(relations.UsedWith, "tennis racket"),
+	}, []string{"tennis racket"}},
+	{"umbrella", Others, []Intent{
+		it(relations.UsedForFunc, "stay dry in the rain"),
+		it(relations.UsedOn, "rainy days"),
+	}, []string{"rain boots"}},
+	{"rain boots", Others, []Intent{
+		it(relations.UsedForFunc, "stay dry in the rain"),
+		it(relations.UsedOn, "rainy days"),
+	}, []string{"umbrella"}},
+}

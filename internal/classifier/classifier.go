@@ -1,0 +1,300 @@
+// Package classifier implements the critic classifiers of §3.3.2: models
+// trained on the human-annotated sample that populate plausibility and
+// typicality judgments to every knowledge candidate that survived coarse
+// filtering. The paper fine-tunes DeBERTa-large; this reproduction uses
+// L2-regularized logistic regression over hashed text features, which
+// separates the simulator's generation modes with comparable reliability
+// and is consumed identically (scores thresholded at 0.5).
+package classifier
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cosmo/internal/know"
+	"cosmo/internal/textproc"
+)
+
+// Featurizer maps candidates to sparse hashed feature indices.
+type Featurizer struct {
+	dim int
+}
+
+// NewFeaturizer returns a featurizer with the given hash dimension.
+func NewFeaturizer(dim int) *Featurizer {
+	if dim < 64 {
+		dim = 64
+	}
+	return &Featurizer{dim: dim}
+}
+
+// Dim returns the feature space dimension.
+func (f *Featurizer) Dim() int { return f.dim }
+
+func (f *Featurizer) hash(s string) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32() % uint32(f.dim))
+}
+
+// Features extracts sparse feature indices for a candidate. Duplicate
+// indices are allowed (they act as feature counts).
+func (f *Featurizer) Features(c know.Candidate) []int {
+	var idx []int
+	toks := textproc.StemAll(textproc.Tokenize(c.Text))
+	for i, t := range toks {
+		idx = append(idx, f.hash("w:"+t))
+		if i+1 < len(toks) {
+			idx = append(idx, f.hash("b:"+t+"_"+toks[i+1]))
+		}
+	}
+	idx = append(idx,
+		f.hash("rel:"+string(c.Relation)),
+		f.hash("beh:"+string(c.Behavior)),
+		f.hash("dom:"+string(c.Domain)),
+		f.hash("len:"+lengthBucket(len(toks))),
+	)
+	// Overlap between the knowledge text and the behavior context: high
+	// overlap signals paraphrase, low overlap signals new information.
+	overlap := textproc.TokenOverlap(c.Text, c.ContextText)
+	idx = append(idx, f.hash("ovl:"+overlapBucket(overlap)))
+	// Cross features between the knowledge content and the product-type
+	// labels let the model memorize which intents belong to which types —
+	// the world knowledge a fine-tuned LM encodes. For co-buy this is
+	// what separates a shared reason from a one-sided one.
+	content := toks
+	if len(content) > 4 {
+		content = content[:4]
+	}
+	for _, t := range content {
+		if textproc.IsStopword(t) {
+			continue
+		}
+		if c.TypeA != "" {
+			idx = append(idx, f.hash("x:"+t+"|"+c.TypeA))
+		}
+		if c.TypeB != "" {
+			idx = append(idx, f.hash("x:"+t+"|"+c.TypeB))
+		}
+	}
+	// Full text × type-pair cross (order-normalized): typicality of a
+	// co-buy explanation is a property of (knowledge, type pair), so the
+	// head memorizes exactly and generalizes through the additive
+	// features above for unseen pairs.
+	ta, tb := c.TypeA, c.TypeB
+	if ta > tb {
+		ta, tb = tb, ta
+	}
+	norm := textproc.Join(toks)
+	idx = append(idx, f.hash("t3:"+norm+"|"+ta+"|"+tb))
+	return idx
+}
+
+func lengthBucket(n int) string {
+	switch {
+	case n <= 2:
+		return "xs"
+	case n <= 4:
+		return "s"
+	case n <= 7:
+		return "m"
+	default:
+		return "l"
+	}
+}
+
+func overlapBucket(o float64) string {
+	switch {
+	case o < 0.1:
+		return "none"
+	case o < 0.3:
+		return "low"
+	case o < 0.6:
+		return "mid"
+	default:
+		return "high"
+	}
+}
+
+// LogReg is a binary logistic-regression model over sparse features.
+type LogReg struct {
+	W    []float64
+	Bias float64
+}
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	L2     float64
+	Seed   int64
+}
+
+// DefaultTrainConfig returns sane defaults for the critic heads.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LR: 0.25, L2: 1e-6, Seed: 23}
+}
+
+// TrainLogReg fits a model on sparse samples X with boolean labels y.
+func TrainLogReg(dim int, X [][]int, y []bool, cfg TrainConfig) *LogReg {
+	m := &LogReg{W: make([]float64, dim)}
+	if len(X) == 0 {
+		return m
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(X))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LR / (1 + 0.3*float64(epoch))
+		for _, i := range order {
+			p := m.Prob(X[i])
+			t := 0.0
+			if y[i] {
+				t = 1.0
+			}
+			g := p - t
+			for _, j := range X[i] {
+				m.W[j] -= lr * (g + cfg.L2*m.W[j])
+			}
+			m.Bias -= lr * g
+		}
+	}
+	return m
+}
+
+// Prob returns P(label=true | x).
+func (m *LogReg) Prob(x []int) float64 {
+	z := m.Bias
+	for _, j := range x {
+		if j >= 0 && j < len(m.W) {
+			z += m.W[j]
+		}
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 {
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Critic bundles the plausibility and typicality heads over a shared
+// featurizer — the deployed scoring model of the pipeline.
+type Critic struct {
+	Feat      *Featurizer
+	Plausible *LogReg
+	Typical   *LogReg
+}
+
+// Labeled pairs a candidate with its adjudicated human labels.
+type Labeled struct {
+	Candidate know.Candidate
+	Plausible bool
+	Typical   bool
+}
+
+// TrainCritic fits both heads on the annotated sample.
+func TrainCritic(dim int, data []Labeled, cfg TrainConfig) *Critic {
+	feat := NewFeaturizer(dim)
+	X := make([][]int, len(data))
+	yp := make([]bool, len(data))
+	yt := make([]bool, len(data))
+	for i, d := range data {
+		X[i] = feat.Features(d.Candidate)
+		yp[i] = d.Plausible
+		yt[i] = d.Typical
+	}
+	cfgT := cfg
+	cfgT.Seed = cfg.Seed + 1
+	return &Critic{
+		Feat:      feat,
+		Plausible: TrainLogReg(dim, X, yp, cfg),
+		Typical:   TrainLogReg(dim, X, yt, cfgT),
+	}
+}
+
+// Score fills PlausibleScore and TypicalScore on each candidate.
+func (c *Critic) Score(cands []know.Candidate) []know.Candidate {
+	out := make([]know.Candidate, len(cands))
+	for i, cd := range cands {
+		x := c.Feat.Features(cd)
+		cd.PlausibleScore = c.Plausible.Prob(x)
+		cd.TypicalScore = c.Typical.Prob(x)
+		out[i] = cd
+	}
+	return out
+}
+
+// Evaluate measures head accuracy and AUC on labeled data.
+func (c *Critic) Evaluate(data []Labeled) (plauAcc, typAcc, plauAUC, typAUC float64) {
+	if len(data) == 0 {
+		return
+	}
+	var pScores, tScores []float64
+	var pLabels, tLabels []bool
+	pCorrect, tCorrect := 0, 0
+	for _, d := range data {
+		x := c.Feat.Features(d.Candidate)
+		pp := c.Plausible.Prob(x)
+		tp := c.Typical.Prob(x)
+		if (pp >= 0.5) == d.Plausible {
+			pCorrect++
+		}
+		if (tp >= 0.5) == d.Typical {
+			tCorrect++
+		}
+		pScores = append(pScores, pp)
+		tScores = append(tScores, tp)
+		pLabels = append(pLabels, d.Plausible)
+		tLabels = append(tLabels, d.Typical)
+	}
+	n := float64(len(data))
+	return float64(pCorrect) / n, float64(tCorrect) / n, AUC(pScores, pLabels), AUC(tScores, tLabels)
+}
+
+// AUC computes the area under the ROC curve via the rank statistic.
+// Returns 0.5 when one class is absent.
+func AUC(scores []float64, labels []bool) float64 {
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	npos, nneg := 0, 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			npos++
+		} else {
+			nneg++
+		}
+	}
+	if npos == 0 || nneg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Sum ranks of positives, handling ties by average rank.
+	rankSum := 0.0
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2.0 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if ps[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(npos)*float64(npos+1)/2.0) / (float64(npos) * float64(nneg))
+}

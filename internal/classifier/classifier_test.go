@@ -1,0 +1,227 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cosmo/internal/behavior"
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/llm"
+)
+
+// corpus builds a mixed candidate corpus with ground-truth labels.
+func corpus(tb testing.TB, n int) []Labeled {
+	tb.Helper()
+	c := catalog.Generate(catalog.Config{ProductsPerType: 4, Seed: 1})
+	log := behavior.Simulate(c, behavior.Config{
+		Seed: 3, CoBuyEvents: 6000, SearchEvents: 6000,
+		NoiseRate: 0.25, BroadQueryRate: 0.4,
+	})
+	teach := llm.NewTeacher(c, llm.DefaultConfig(llm.OPT30B))
+	var out []Labeled
+	id := 0
+	for _, e := range log.CoBuys {
+		if len(out) >= n {
+			break
+		}
+		pa, _ := c.ByID(e.A)
+		pb, _ := c.ByID(e.B)
+		for _, g := range teach.GenerateCoBuy(pa, pb, 2) {
+			id++
+			cd := know.Candidate{
+				ID: id, Behavior: know.CoBuy, Domain: pa.Category,
+				ProductA: e.A, ProductB: e.B, TypeA: pa.Type, TypeB: pb.Type,
+				ContextText: pa.Title + " and " + pb.Title,
+				Text:        g.Text, Truth: g.Truth,
+			}
+			out = append(out, Labeled{Candidate: cd, Plausible: g.Truth.Plausible, Typical: g.Truth.Typical})
+		}
+	}
+	// The raw log is sorted by product ID, which follows type order; an
+	// unshuffled split would sever whole categories from training.
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestCriticSeparatesTypicality(t *testing.T) {
+	data := corpus(t, 4000)
+	split := len(data) * 4 / 5
+	critic := TrainCritic(1<<15, data[:split], DefaultTrainConfig())
+	plauAcc, typAcc, plauAUC, typAUC := critic.Evaluate(data[split:])
+	if typAcc < 0.90 {
+		t.Errorf("typicality accuracy %.3f too low", typAcc)
+	}
+	if typAUC < 0.90 {
+		t.Errorf("typicality AUC %.3f too low", typAUC)
+	}
+	if plauAcc < 0.85 {
+		t.Errorf("plausibility accuracy %.3f too low", plauAcc)
+	}
+	if plauAUC < 0.85 {
+		t.Errorf("plausibility AUC %.3f too low", plauAUC)
+	}
+}
+
+func TestCriticHighScorePrecision(t *testing.T) {
+	// The pipeline consumes the typicality head by thresholding high:
+	// candidates scored in the top quintile must be typical far more
+	// often than the base rate.
+	data := corpus(t, 4000)
+	split := len(data) * 4 / 5
+	critic := TrainCritic(1<<15, data[:split], DefaultTrainConfig())
+	test := data[split:]
+	type scored struct {
+		s float64
+		y bool
+	}
+	ss := make([]scored, len(test))
+	base := 0
+	for i, d := range test {
+		ss[i] = scored{critic.Typical.Prob(critic.Feat.Features(d.Candidate)), d.Typical}
+		if d.Typical {
+			base++
+		}
+	}
+	baseRate := float64(base) / float64(len(test))
+	sort.Slice(ss, func(i, j int) bool { return ss[i].s > ss[j].s })
+	top := ss[:len(ss)/5]
+	hits := 0
+	for _, s := range top {
+		if s.y {
+			hits++
+		}
+	}
+	prec := float64(hits) / float64(len(top))
+	if prec < baseRate+0.15 {
+		t.Errorf("top-quintile precision %.3f not well above base rate %.3f", prec, baseRate)
+	}
+}
+
+func TestScoreFillsFields(t *testing.T) {
+	data := corpus(t, 1000)
+	critic := TrainCritic(1<<12, data, DefaultTrainConfig())
+	cands := make([]know.Candidate, len(data))
+	for i, d := range data {
+		cands[i] = d.Candidate
+	}
+	scored := critic.Score(cands)
+	if len(scored) != len(cands) {
+		t.Fatalf("scored %d of %d", len(scored), len(cands))
+	}
+	for _, c := range scored {
+		if c.PlausibleScore < 0 || c.PlausibleScore > 1 {
+			t.Fatalf("plausible score %v out of range", c.PlausibleScore)
+		}
+		if c.TypicalScore < 0 || c.TypicalScore > 1 {
+			t.Fatalf("typical score %v out of range", c.TypicalScore)
+		}
+	}
+}
+
+func TestLogRegLearnsSeparableData(t *testing.T) {
+	// Feature 0 present => positive; feature 1 present => negative.
+	X := [][]int{}
+	y := []bool{}
+	for i := 0; i < 200; i++ {
+		X = append(X, []int{0, 2})
+		y = append(y, true)
+		X = append(X, []int{1, 3})
+		y = append(y, false)
+	}
+	m := TrainLogReg(8, X, y, DefaultTrainConfig())
+	if p := m.Prob([]int{0, 2}); p < 0.9 {
+		t.Errorf("positive prob %.3f", p)
+	}
+	if p := m.Prob([]int{1, 3}); p > 0.1 {
+		t.Errorf("negative prob %.3f", p)
+	}
+}
+
+func TestLogRegEmptyTraining(t *testing.T) {
+	m := TrainLogReg(16, nil, nil, DefaultTrainConfig())
+	if p := m.Prob([]int{1, 2}); p != 0.5 {
+		t.Errorf("untrained model prob %v, want 0.5", p)
+	}
+}
+
+func TestLogRegIgnoresOutOfRangeIndices(t *testing.T) {
+	m := &LogReg{W: make([]float64, 4)}
+	if p := m.Prob([]int{-1, 100}); p != 0.5 {
+		t.Errorf("out-of-range prob %v", p)
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	perfect := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []bool{false, false, true, true})
+	if perfect != 1.0 {
+		t.Errorf("perfect AUC = %v", perfect)
+	}
+	inverted := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{false, false, true, true})
+	if inverted != 0.0 {
+		t.Errorf("inverted AUC = %v", inverted)
+	}
+	ties := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []bool{false, true, false, true})
+	if math.Abs(ties-0.5) > 1e-12 {
+		t.Errorf("all-tied AUC = %v", ties)
+	}
+	oneClass := AUC([]float64{0.3, 0.7}, []bool{true, true})
+	if oneClass != 0.5 {
+		t.Errorf("single-class AUC = %v", oneClass)
+	}
+}
+
+func TestFeaturizerDeterministic(t *testing.T) {
+	f := NewFeaturizer(1 << 10)
+	c := know.Candidate{Text: "capable of holding snacks", Behavior: know.CoBuy}
+	a := f.Features(c)
+	b := f.Features(c)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("features not deterministic")
+		}
+	}
+	for _, j := range a {
+		if j < 0 || j >= f.Dim() {
+			t.Fatalf("index %d out of range", j)
+		}
+	}
+}
+
+func TestFeaturizerMinDim(t *testing.T) {
+	f := NewFeaturizer(2)
+	if f.Dim() != 64 {
+		t.Errorf("dim = %d, want 64 floor", f.Dim())
+	}
+}
+
+func TestCriticDeterministic(t *testing.T) {
+	data := corpus(t, 600)
+	c1 := TrainCritic(1<<10, data, DefaultTrainConfig())
+	c2 := TrainCritic(1<<10, data, DefaultTrainConfig())
+	for i := range c1.Plausible.W {
+		if c1.Plausible.W[i] != c2.Plausible.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func BenchmarkCriticScore(b *testing.B) {
+	data := corpus(b, 1000)
+	critic := TrainCritic(1<<12, data, DefaultTrainConfig())
+	cands := make([]know.Candidate, len(data))
+	for i, d := range data {
+		cands[i] = d.Candidate
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		critic.Score(cands)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+)
+
+// smallConfig returns a fast configuration for variation tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Behavior.CoBuyEvents = 3000
+	cfg.Behavior.SearchEvents = 3000
+	cfg.AnnotationBudget = 800
+	return cfg
+}
+
+func TestPipelineWithoutExpansion(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ExpandWithCosmoLM = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpandedEdges != 0 {
+		t.Errorf("expansion disabled but added %d edges", res.ExpandedEdges)
+	}
+	if res.KG.NumEdges() == 0 {
+		t.Error("KG empty without expansion")
+	}
+}
+
+func TestPipelineBudgetLargerThanKept(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AnnotationBudget = 1 << 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Annotations) != len(res.Kept) {
+		t.Errorf("oversized budget should annotate everything: %d vs %d",
+			len(res.Annotations), len(res.Kept))
+	}
+}
+
+func TestPipelineDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallConfig()
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.KG.NumEdges() != r2.KG.NumEdges() || r1.KG.NumNodes() != r2.KG.NumNodes() {
+		t.Fatalf("non-deterministic KG: %d/%d vs %d/%d",
+			r1.KG.NumNodes(), r1.KG.NumEdges(), r2.KG.NumNodes(), r2.KG.NumEdges())
+	}
+	e1, e2 := r1.KG.Edges(), r2.KG.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestPipelineSeedChangesWorld(t *testing.T) {
+	cfg := smallConfig()
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Behavior.Seed++
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.KG.NumEdges() == r2.KG.NumEdges() && r1.FilterReport.Kept == r2.FilterReport.Kept {
+		t.Log("warning: different behavior seeds produced identical aggregates (possible but unlikely)")
+	}
+}
+
+func TestPipelineStrictPlausibilityThreshold(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PlausibilityThreshold = 0.99
+	cfg.ExpandWithCosmoLM = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := smallConfig()
+	loose.ExpandWithCosmoLM = false
+	res2, err := Run(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KG.NumEdges() >= res2.KG.NumEdges() {
+		t.Errorf("stricter threshold should admit fewer edges: %d vs %d",
+			res.KG.NumEdges(), res2.KG.NumEdges())
+	}
+}

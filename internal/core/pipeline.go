@@ -1,0 +1,310 @@
+// Package core orchestrates the COSMO offline knowledge-generation
+// pipeline of Figure 2: behavior sampling → QA-prompted teacher
+// generation → coarse-grained filtering → re-weighted annotation →
+// critic training and scoring → knowledge-graph assembly → instruction
+// data → COSMO-LM training → KG expansion with COSMO-LM.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosmo/internal/annotation"
+	"cosmo/internal/behavior"
+	"cosmo/internal/catalog"
+	"cosmo/internal/classifier"
+	"cosmo/internal/cosmolm"
+	"cosmo/internal/filter"
+	"cosmo/internal/instruction"
+	"cosmo/internal/kg"
+	"cosmo/internal/know"
+	"cosmo/internal/llm"
+	"cosmo/internal/sampling"
+)
+
+// Config assembles the per-stage configurations.
+type Config struct {
+	Seed        int64
+	Catalog     catalog.Config
+	Behavior    behavior.Config
+	Sampling    sampling.Config
+	Teacher     llm.Config
+	Filter      filter.Config
+	Annotation  annotation.Config
+	Instruction instruction.Config
+	CosmoLM     cosmolm.Config
+	CriticDim   int
+	CriticTrain classifier.TrainConfig
+
+	// GenerationsPerBehavior is how many candidates the teacher emits
+	// per behavior pair (the paper's numbered-list prompting).
+	GenerationsPerBehavior int
+	// AnnotationBudget is the number of candidates sent to annotators
+	// (the paper uses 15k per behavior type; scale down for tests).
+	AnnotationBudget int
+	// PlausibilityThreshold gates KG admission ("candidates whose
+	// plausibility score is above 0.5 are left").
+	PlausibilityThreshold float64
+	// ExpandWithCosmoLM controls the final KG-expansion stage: COSMO-LM
+	// generates ExpandTopK extra assertions per sampled search behavior.
+	ExpandWithCosmoLM bool
+	ExpandTopK        int
+	// CanonicalizeTails merges intention nodes that differ only by
+	// inflection ("walk the dog" / "walking the dogs"), the paper's tail
+	// canonicalization step.
+	CanonicalizeTails bool
+
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a laptop-scale end-to-end configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   42,
+		Catalog:                catalog.Config{ProductsPerType: 4, Seed: 1},
+		Behavior:               behavior.Config{Seed: 2, CoBuyEvents: 10000, SearchEvents: 10000, NoiseRate: 0.25, BroadQueryRate: 0.4},
+		Sampling:               sampling.DefaultConfig(),
+		Teacher:                llm.DefaultConfig(llm.OPT30B),
+		Filter:                 filter.DefaultConfig(),
+		Annotation:             annotation.DefaultConfig(),
+		Instruction:            instruction.DefaultConfig(),
+		CosmoLM:                cosmolm.DefaultConfig(),
+		CriticDim:              1 << 15,
+		CriticTrain:            classifier.DefaultTrainConfig(),
+		GenerationsPerBehavior: 2,
+		AnnotationBudget:       3000,
+		PlausibilityThreshold:  0.5,
+		ExpandWithCosmoLM:      true,
+		ExpandTopK:             2,
+		CanonicalizeTails:      true,
+	}
+}
+
+// Result carries every artifact of a pipeline run.
+type Result struct {
+	Catalog *catalog.Catalog
+	Log     *behavior.Log
+
+	SampledCoBuys     []behavior.CoBuyPair
+	SampledSearchBuys []behavior.SearchBuyPair
+
+	RawCandidates int
+	FilterReport  filter.Report
+	Kept          []know.Candidate
+
+	AnnotatedCandidates []know.Candidate
+	Annotations         []annotation.Annotation
+	AuditAccuracy       float64
+
+	Critic      *classifier.Critic
+	Instruction []instruction.Instance
+	CosmoLM     *cosmolm.Model
+
+	KG            *kg.Graph
+	ExpandedEdges int
+
+	TeacherCost llm.CostSnapshot
+	CosmoLMCost llm.CostSnapshot
+}
+
+// Run executes the full offline pipeline.
+func Run(cfg Config) (*Result, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &Result{}
+
+	// Stage 0: world.
+	res.Catalog = catalog.Generate(cfg.Catalog)
+	res.Log = behavior.Simulate(res.Catalog, cfg.Behavior)
+	logf("world: %d products, %d co-buy edges, %d search-buy edges",
+		res.Catalog.Len(), len(res.Log.CoBuys), len(res.Log.SearchBuys))
+
+	// Stage 1: behavior sampling (§3.2.1).
+	smp := sampling.New(res.Log, cfg.Sampling)
+	selected := smp.SampleProducts()
+	res.SampledCoBuys = smp.SampleCoBuyPairs(selected)
+	res.SampledSearchBuys = smp.SampleSearchBuyPairs(selected)
+	logf("sampled: %d co-buy pairs, %d search-buy pairs",
+		len(res.SampledCoBuys), len(res.SampledSearchBuys))
+
+	// Stage 2: QA-prompted generation (§3.2.2).
+	teacher := llm.NewTeacher(res.Catalog, cfg.Teacher)
+	cands := generate(res, teacher, cfg.GenerationsPerBehavior)
+	res.RawCandidates = len(cands)
+	logf("generated %d knowledge candidates", len(cands))
+
+	// Stage 3: coarse-grained filtering (§3.3.1).
+	flt := filter.New(cfg.Filter)
+	kept, _, report := flt.Run(cands)
+	res.Kept = kept
+	res.FilterReport = report
+	logf("filter kept %d of %d", report.Kept, report.Input)
+
+	// Stage 4: re-weighted annotation sampling (Eq. 2) + human labels.
+	annCands := selectForAnnotation(res, kept, cfg)
+	oracle := annotation.NewOracle(cfg.Annotation)
+	anns := oracle.AnnotateAll(annCands)
+	res.AnnotatedCandidates = annCands
+	res.Annotations = anns
+	res.AuditAccuracy = oracle.Audit(annCands, anns, 0.05).Accuracy()
+	logf("annotated %d candidates (audit accuracy %.3f)", len(anns), res.AuditAccuracy)
+
+	// Stage 5: critic training and scoring (§3.3.2).
+	labeled := make([]classifier.Labeled, len(annCands))
+	for i := range annCands {
+		labeled[i] = classifier.Labeled{
+			Candidate: annCands[i],
+			Plausible: anns[i].Plausible(),
+			Typical:   anns[i].Typical(),
+		}
+	}
+	res.Critic = classifier.TrainCritic(cfg.CriticDim, labeled, cfg.CriticTrain)
+	scored := res.Critic.Score(kept)
+
+	// Stage 6: knowledge-graph assembly.
+	res.KG = kg.New()
+	admitted := 0
+	for _, c := range scored {
+		if c.PlausibleScore <= cfg.PlausibilityThreshold {
+			continue
+		}
+		if err := res.KG.AddAssertion(c); err != nil {
+			return nil, fmt.Errorf("core: kg assembly: %w", err)
+		}
+		admitted++
+	}
+	logf("kg: admitted %d assertions -> %d nodes, %d edges",
+		admitted, res.KG.NumNodes(), res.KG.NumEdges())
+
+	// Stage 7: instruction data + COSMO-LM (§3.4).
+	res.Instruction = instruction.NewBuilder(cfg.Instruction).Build(annCands, anns)
+	res.CosmoLM = cosmolm.Train(res.Instruction, cfg.CosmoLM)
+	logf("instruction data: %d instances; cosmo-lm tails: %d",
+		len(res.Instruction), res.CosmoLM.KnownTails())
+
+	// Stage 8: KG expansion with COSMO-LM — the step that scales the
+	// graph beyond the teacher-generated candidates.
+	if cfg.ExpandWithCosmoLM {
+		res.ExpandedEdges = expand(res, cfg)
+		logf("kg expansion added %d edges -> %d total", res.ExpandedEdges, res.KG.NumEdges())
+	}
+
+	if cfg.CanonicalizeTails {
+		before := res.KG.NumNodes()
+		res.KG = res.KG.Canonicalize()
+		logf("canonicalized tails: %d -> %d nodes", before, res.KG.NumNodes())
+	}
+
+	// Relabel product nodes with their catalog titles for readability
+	// (expansion may have added nodes, so this runs last).
+	for _, n := range res.KG.Nodes() {
+		if n.Type != kg.NodeProduct {
+			continue
+		}
+		if p, ok := res.Catalog.ByID(n.Label); ok {
+			n.Label = p.Title
+			res.KG.AddNode(n)
+		}
+	}
+
+	res.TeacherCost = teacher.Cost()
+	res.CosmoLMCost = res.CosmoLM.Cost()
+	return res, nil
+}
+
+// generate runs the teacher over every sampled behavior.
+func generate(res *Result, teacher *llm.Teacher, perBehavior int) []know.Candidate {
+	var cands []know.Candidate
+	id := 0
+	for _, e := range res.SampledCoBuys {
+		pa, _ := res.Catalog.ByID(e.A)
+		pb, _ := res.Catalog.ByID(e.B)
+		for _, g := range teacher.GenerateCoBuy(pa, pb, perBehavior) {
+			id++
+			cands = append(cands, know.Candidate{
+				ID: id, Behavior: know.CoBuy, Domain: pa.Category,
+				ProductA: e.A, ProductB: e.B, TypeA: pa.Type, TypeB: pb.Type,
+				ContextText:     pa.Title + " and " + pb.Title,
+				Text:            g.Text,
+				Truth:           g.Truth,
+				PairIntentional: e.Intentional,
+			})
+		}
+	}
+	for _, e := range res.SampledSearchBuys {
+		p, _ := res.Catalog.ByID(e.ProductID)
+		for _, g := range teacher.GenerateSearchBuy(e.Query, p, perBehavior) {
+			id++
+			cands = append(cands, know.Candidate{
+				ID: id, Behavior: know.SearchBuy, Domain: p.Category,
+				Query: e.Query, ProductA: e.ProductID, TypeA: p.Type,
+				ContextText:     e.Query + " " + p.Title,
+				Text:            g.Text,
+				Truth:           g.Truth,
+				PairIntentional: e.Intentional,
+			})
+		}
+	}
+	return cands
+}
+
+// selectForAnnotation applies the Eq. 2 re-weighting to pick the
+// annotation sample from the kept candidates.
+func selectForAnnotation(res *Result, kept []know.Candidate, cfg Config) []know.Candidate {
+	if cfg.AnnotationBudget >= len(kept) {
+		return kept
+	}
+	// Knowledge frequency f(t): how often each tail text occurs.
+	freq := map[string]int{}
+	for _, c := range kept {
+		freq[c.Text]++
+	}
+	weights := make([]float64, len(kept))
+	for i, c := range kept {
+		popQ := res.Log.QueryDegree(c.Query)
+		popP := res.Log.CoBuyDegree(c.ProductA) + res.Log.ProductQueryDegree(c.ProductA)
+		weights[i] = sampling.AnnotationWeight(freq[c.Text], popQ, popP)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idxs := sampling.WeightedSample(rng, weights, cfg.AnnotationBudget)
+	out := make([]know.Candidate, len(idxs))
+	for i, idx := range idxs {
+		out[i] = kept[idx]
+	}
+	return out
+}
+
+// expand generates additional assertions with COSMO-LM for every sampled
+// search behavior and admits those whose predicted plausibility passes
+// the threshold.
+func expand(res *Result, cfg Config) int {
+	added := 0
+	for _, e := range res.SampledSearchBuys {
+		p, _ := res.Catalog.ByID(e.ProductID)
+		ctx := cosmolm.SearchContext(e.Query, p.Title)
+		for _, g := range res.CosmoLM.Generate(ctx, p.Category, "", cfg.ExpandTopK) {
+			c := know.Candidate{
+				Behavior: know.SearchBuy, Domain: p.Category,
+				Query: e.Query, ProductA: e.ProductID, TypeA: p.Type,
+				Relation: g.Relation, Tail: g.Tail, Text: g.Text,
+			}
+			_, pProb := res.CosmoLM.Predict(instruction.TaskPlausibility,
+				ctx+" | explanation: "+g.Text)
+			_, tProb := res.CosmoLM.Predict(instruction.TaskTypicality,
+				ctx+" | explanation: "+g.Text)
+			if pProb <= cfg.PlausibilityThreshold {
+				continue
+			}
+			c.PlausibleScore = pProb
+			c.TypicalScore = tProb
+			before := res.KG.NumEdges()
+			if err := res.KG.AddAssertion(c); err == nil && res.KG.NumEdges() > before {
+				added += res.KG.NumEdges() - before
+			}
+		}
+	}
+	return added
+}

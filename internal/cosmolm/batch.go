@@ -1,0 +1,51 @@
+package cosmolm
+
+import (
+	"runtime"
+	"sync"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/relations"
+)
+
+// BatchRequest is one generation request in a batch.
+type BatchRequest struct {
+	Context  string
+	Domain   catalog.Category
+	Relation relations.Relation
+	K        int
+}
+
+// GenerateBatch runs many generation requests concurrently — the shape
+// of the serving deployment's batch processor, where daily cache misses
+// are processed together rather than inline. Results align with the
+// request slice. The model is read-only during generation, so requests
+// fan out across GOMAXPROCS workers.
+func (m *Model) GenerateBatch(reqs []BatchRequest) [][]Generated {
+	out := make([][]Generated, len(reqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := reqs[i]
+				out[i] = m.Generate(r.Context, r.Domain, r.Relation, r.K)
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,67 @@
+package cosmolm
+
+import (
+	"testing"
+)
+
+func TestGenerateBatchMatchesSequential(t *testing.T) {
+	f := getFixture(t)
+	var reqs []BatchRequest
+	for _, tn := range []string{"air mattress", "dog leash", "smart watch", "tent", "fountain pen"} {
+		p := f.cat.OfType(tn)[0]
+		reqs = append(reqs, BatchRequest{
+			Context: SearchContext(tn, p.Title), Domain: p.Category, K: 3,
+		})
+	}
+	batch := f.model.GenerateBatch(reqs)
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, r := range reqs {
+		seq := f.model.Generate(r.Context, r.Domain, r.Relation, r.K)
+		if len(seq) != len(batch[i]) {
+			t.Fatalf("request %d: %d vs %d generations", i, len(batch[i]), len(seq))
+		}
+		for j := range seq {
+			if seq[j] != batch[i][j] {
+				t.Fatalf("request %d generation %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateBatchEmpty(t *testing.T) {
+	f := getFixture(t)
+	if out := f.model.GenerateBatch(nil); len(out) != 0 {
+		t.Errorf("empty batch produced %d results", len(out))
+	}
+}
+
+func TestGenerateBatchConcurrentSafety(t *testing.T) {
+	f := getFixture(t)
+	p := f.cat.OfType("tent")[0]
+	reqs := make([]BatchRequest, 200)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Context: SearchContext("camping", p.Title), Domain: p.Category, K: 2}
+	}
+	out := f.model.GenerateBatch(reqs)
+	for i := 1; i < len(out); i++ {
+		if len(out[i]) != len(out[0]) {
+			t.Fatal("identical requests produced different result counts")
+		}
+	}
+}
+
+func BenchmarkGenerateBatch(b *testing.B) {
+	f := getFixture(b)
+	p := f.cat.OfType("air mattress")[0]
+	reqs := make([]BatchRequest, 64)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Context: SearchContext("camping", p.Title), Domain: p.Category, K: 3}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.model.GenerateBatch(reqs)
+	}
+}

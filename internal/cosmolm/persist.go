@@ -1,0 +1,77 @@
+package cosmolm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/classifier"
+	"cosmo/internal/instruction"
+	"cosmo/internal/relations"
+)
+
+// modelSnapshot is the serializable form of a trained COSMO-LM, used by
+// the deployment manager's model refresh (the SageMaker-update analog).
+type modelSnapshot struct {
+	Tails    []tailSnapshot
+	Inverted map[string]map[int]int
+	DocFreq  map[string]int
+	NumDocs  int
+	HeadDim  int
+	Heads    map[instruction.Task]*classifier.LogReg
+}
+
+type tailSnapshot struct {
+	Relation relations.Relation
+	Tail     string
+	Count    int
+	Domains  map[catalog.Category]int
+}
+
+// WriteGob serializes the trained model.
+func (m *Model) WriteGob(w io.Writer) error {
+	snap := modelSnapshot{
+		Inverted: m.inverted,
+		DocFreq:  m.docFreq,
+		NumDocs:  m.numDocs,
+		HeadDim:  m.headDim,
+		Heads:    m.heads,
+	}
+	for _, t := range m.tails {
+		snap.Tails = append(snap.Tails, tailSnapshot{
+			Relation: t.relation, Tail: t.tail, Count: t.count, Domains: t.domains,
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadGob loads a model previously written with WriteGob.
+func ReadGob(r io.Reader) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cosmolm: decode gob: %w", err)
+	}
+	m := &Model{
+		inverted: snap.Inverted,
+		docFreq:  snap.DocFreq,
+		numDocs:  snap.NumDocs,
+		headDim:  snap.HeadDim,
+		heads:    snap.Heads,
+	}
+	if m.inverted == nil {
+		m.inverted = map[string]map[int]int{}
+	}
+	if m.docFreq == nil {
+		m.docFreq = map[string]int{}
+	}
+	if m.heads == nil {
+		m.heads = map[instruction.Task]*classifier.LogReg{}
+	}
+	for _, t := range snap.Tails {
+		m.tails = append(m.tails, tailEntry{
+			relation: t.Relation, tail: t.Tail, count: t.Count, domains: t.Domains,
+		})
+	}
+	return m, nil
+}

@@ -1,0 +1,70 @@
+package cosmolm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cosmo/internal/instruction"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	var buf bytes.Buffer
+	if err := f.model.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.KnownTails() != f.model.KnownTails() {
+		t.Fatalf("tails %d vs %d", m2.KnownTails(), f.model.KnownTails())
+	}
+	if len(m2.Tasks()) != len(f.model.Tasks()) {
+		t.Fatalf("tasks %v vs %v", m2.Tasks(), f.model.Tasks())
+	}
+	// Generations must be identical.
+	p := f.cat.OfType("air mattress")[0]
+	ctx := SearchContext("camping", p.Title)
+	g1 := f.model.Generate(ctx, p.Category, "", 3)
+	g2 := m2.Generate(ctx, p.Category, "", 3)
+	if len(g1) != len(g2) {
+		t.Fatalf("generation counts differ: %d vs %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("generation %d differs: %+v vs %+v", i, g1[i], g2[i])
+		}
+	}
+	// Predictions must be identical.
+	_, p1 := f.model.Predict(instruction.TaskSearchRelevance, ctx)
+	_, p2 := m2.Predict(instruction.TaskSearchRelevance, ctx)
+	if p1 != p2 {
+		t.Fatalf("prediction differs: %v vs %v", p1, p2)
+	}
+}
+
+func TestReadGobGarbage(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestGobRoundTripEmptyModel(t *testing.T) {
+	empty := Train(nil, DefaultConfig())
+	var buf bytes.Buffer
+	if err := empty.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KnownTails() != 0 {
+		t.Errorf("empty model has %d tails", m.KnownTails())
+	}
+	if gens := m.Generate("anything", "", "", 3); len(gens) != 0 {
+		t.Errorf("empty model generated %d", len(gens))
+	}
+}

@@ -1,0 +1,124 @@
+// Package embedding provides the text-embedding substrate that stands in
+// for the paper's in-house e-commerce language model embeddings. It maps
+// strings to dense vectors by feature-hashing word unigrams, word bigrams
+// and character trigrams, then L2-normalizing. Paraphrases of the same
+// behavior context share most features and therefore score high cosine
+// similarity — exactly the property the paper's similarity filter
+// (Eq. 1) relies on.
+package embedding
+
+import (
+	"hash/fnv"
+	"math"
+
+	"cosmo/internal/textproc"
+)
+
+// Model embeds strings into a fixed-dimension space.
+type Model struct {
+	dim int
+}
+
+// New returns a model with the given embedding dimension (>= 8).
+func New(dim int) *Model {
+	if dim < 8 {
+		dim = 8
+	}
+	return &Model{dim: dim}
+}
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// hashFeature maps a feature string to (index, sign).
+func (m *Model) hashFeature(f string) (int, float64) {
+	h := fnv.New64a()
+	h.Write([]byte(f))
+	v := h.Sum64()
+	idx := int(v % uint64(m.dim))
+	sign := 1.0
+	if (v>>32)&1 == 1 {
+		sign = -1.0
+	}
+	return idx, sign
+}
+
+// Embed returns the L2-normalized embedding of s. The zero vector is
+// returned for blank input.
+func (m *Model) Embed(s string) []float64 {
+	vec := make([]float64, m.dim)
+	toks := textproc.StemAll(textproc.Tokenize(s))
+	for i, t := range toks {
+		idx, sign := m.hashFeature("w:" + t)
+		vec[idx] += sign * 1.0
+		if i+1 < len(toks) {
+			idx, sign = m.hashFeature("b:" + t + "_" + toks[i+1])
+			vec[idx] += sign * 0.5
+		}
+		// Character trigrams of each token for robustness to morphology.
+		padded := "^" + t + "$"
+		for j := 0; j+3 <= len(padded); j++ {
+			idx, sign = m.hashFeature("c:" + padded[j:j+3])
+			vec[idx] += sign * 0.25
+		}
+	}
+	normalize(vec)
+	return vec
+}
+
+func normalize(v []float64) {
+	n := 0.0
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Cosine returns the cosine similarity of two vectors (0 if either is
+// the zero vector or lengths differ).
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Similarity embeds both strings and returns their cosine similarity —
+// the paper's d(k, c) = cos(E(k), E(c)) from Eq. 1.
+func (m *Model) Similarity(a, b string) float64 {
+	return Cosine(m.Embed(a), m.Embed(b))
+}
+
+// Average returns the element-wise mean of the vectors, normalized;
+// used to pool token or knowledge embeddings into a context vector.
+func Average(vecs [][]float64) []float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vecs[0]))
+	for _, v := range vecs {
+		for i := range v {
+			out[i] += v[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vecs))
+	}
+	normalize(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sharedRunner caches the pipeline world across tests.
+var sharedRunner *Runner
+
+func runner(tb testing.TB) (*Runner, *bytes.Buffer) {
+	tb.Helper()
+	buf := &bytes.Buffer{}
+	if sharedRunner == nil {
+		sharedRunner = NewRunner(buf, 20)
+	}
+	sharedRunner.Out = buf
+	return sharedRunner, buf
+}
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"figure7", "table7", "table8", "table9", "figure8", "abtest",
+		"serving", "latency",
+		"ablation-filter", "ablation-sampling", "ablation-tasks", "ablation-cache",
+		"limitation-flashsale", "baseline-folkscope", "future-rewrites",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("got %d experiments, want %d", len(names), len(want))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r, _ := runner(t)
+	if err := r.Run("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+// TestCheapExperiments runs every experiment except the three that train
+// downstream neural models (covered by the benchmarks) and checks each
+// produces a nonempty report with its paper reference.
+func TestCheapExperiments(t *testing.T) {
+	r, buf := runner(t)
+	cheap := []string{
+		"table1", "table2", "table3", "table4", "table5", "table7",
+		"table9", "figure8", "abtest", "serving", "latency",
+		"ablation-filter", "ablation-sampling", "ablation-tasks", "ablation-cache",
+		"limitation-flashsale", "baseline-folkscope", "future-rewrites",
+	}
+	for _, name := range cheap {
+		buf.Reset()
+		if err := r.Run(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if len(out) < 40 {
+			t.Errorf("%s produced a suspiciously short report:\n%s", name, out)
+		}
+		t.Logf("--- %s ---\n%s", name, out)
+	}
+}
+
+func TestTable4ShapeHolds(t *testing.T) {
+	r, buf := runner(t)
+	buf.Reset()
+	if err := r.Run("table4"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "search-buy typicality > co-buy typicality = true") {
+		t.Errorf("Table 4 shape check failed:\n%s", buf.String())
+	}
+}
+
+func TestServingShapeHolds(t *testing.T) {
+	r, buf := runner(t)
+	buf.Reset()
+	if err := r.Run("serving"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hit rate > 80% = true") {
+		t.Errorf("serving hit-rate shape failed:\n%s", out)
+	}
+	if !strings.Contains(out, "cached latency ≪ inline inference = true") {
+		t.Errorf("serving latency shape failed:\n%s", out)
+	}
+}
+
+func TestABTestShapeHolds(t *testing.T) {
+	r, buf := runner(t)
+	buf.Reset()
+	if err := r.Run("abtest"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "positive small lift=true") {
+		t.Errorf("A/B shape failed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,214 @@
+// Package filter implements COSMO's coarse-grained knowledge refinement
+// (§3.3.1): rule-based filtering (sentence extraction, completeness,
+// copy detection by edit distance, generic detection by frequency and
+// entropy, perplexity thresholding) followed by embedding-similarity
+// filtering that removes paraphrases of the behavior context (Eq. 1).
+package filter
+
+import (
+	"sort"
+
+	"cosmo/internal/embedding"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+	"cosmo/internal/textproc"
+)
+
+// DropReason explains why a candidate was filtered.
+type DropReason string
+
+// Drop reasons, one per filter rule.
+const (
+	DropNone         DropReason = ""
+	DropEmpty        DropReason = "empty"
+	DropIncomplete   DropReason = "incomplete-sentence"
+	DropCopy         DropReason = "copies-context"
+	DropNoRelation   DropReason = "unparseable-relation"
+	DropPerplexity   DropReason = "high-perplexity"
+	DropGeneric      DropReason = "generic"
+	DropParaphrase   DropReason = "paraphrase-similarity"
+	DropDuplicate    DropReason = "duplicate"
+	DropShortContent DropReason = "too-short"
+)
+
+// Config tunes the filter thresholds.
+type Config struct {
+	// MaxEditDistanceRatio: generations within this normalized edit
+	// distance of the query / product type / title are copies.
+	MaxEditDistanceRatio float64
+	// PerplexityQuantile sets the perplexity threshold at this quantile
+	// of the candidate distribution ("tune the threshold").
+	PerplexityQuantile float64
+	// GenericMinFreq, GenericMinEntropy and GenericMinContexts
+	// parameterize the frequency+entropy generic test: a string is
+	// generic when it is frequent AND spreads near-uniformly over many
+	// distinct product-type contexts. Typical knowledge is confined to
+	// the handful of types sharing its intent.
+	GenericMinFreq     int
+	GenericMinEntropy  float64
+	GenericMinContexts int
+	// MaxContextSimilarity: candidates whose embedding similarity to
+	// their behavior context exceeds this are paraphrases (Eq. 1).
+	MaxContextSimilarity float64
+	// EmbeddingDim for the similarity model.
+	EmbeddingDim int
+}
+
+// DefaultConfig returns thresholds calibrated on the simulator.
+func DefaultConfig() Config {
+	return Config{
+		MaxEditDistanceRatio: 0.25,
+		PerplexityQuantile:   0.90,
+		GenericMinFreq:       10,
+		GenericMinEntropy:    4.0,
+		GenericMinContexts:   20,
+		MaxContextSimilarity: 0.62,
+		EmbeddingDim:         256,
+	}
+}
+
+// Result reports the outcome for one candidate.
+type Result struct {
+	Candidate know.Candidate
+	Kept      bool
+	Reason    DropReason
+}
+
+// Report summarizes a filtering run.
+type Report struct {
+	Input   int
+	Kept    int
+	Dropped map[DropReason]int
+	// PerplexityThreshold is the tuned threshold actually used.
+	PerplexityThreshold float64
+}
+
+// Filter holds the models needed across stages.
+type Filter struct {
+	cfg Config
+	lm  *textproc.NgramLM
+	emb *embedding.Model
+}
+
+// New builds a filter; the n-gram LM is trained lazily on the first Run.
+func New(cfg Config) *Filter {
+	return &Filter{cfg: cfg, emb: embedding.New(cfg.EmbeddingDim)}
+}
+
+// Run applies all coarse-grained stages in the paper's order and returns
+// kept candidates (with Relation/Tail parsed) plus a per-candidate trace
+// and a summary report.
+func (f *Filter) Run(cands []know.Candidate) ([]know.Candidate, []Result, Report) {
+	report := Report{Input: len(cands), Dropped: map[DropReason]int{}}
+	results := make([]Result, len(cands))
+
+	// Train the perplexity LM on all first-sentences; well-formed text
+	// dominates, so malformed candidates land in the high-perplexity tail.
+	f.lm = textproc.NewNgramLM()
+	firsts := make([]string, len(cands))
+	for i, c := range cands {
+		firsts[i] = textproc.FirstSentence(c.Text)
+		f.lm.Train(firsts[i])
+	}
+
+	// Generic detection needs corpus-level co-occurrence statistics. The
+	// context is the product-type pair, not the raw head: typical
+	// knowledge legitimately repeats across many products of the same
+	// types, while generic knowledge spreads across unrelated types.
+	co := textproc.NewCooccurrenceStats()
+	for _, c := range cands {
+		co.Observe(textproc.NormalizeSpace(c.Text), typeContext(c))
+	}
+
+	// Tune the perplexity threshold at the configured quantile.
+	ppls := make([]float64, 0, len(cands))
+	for i := range cands {
+		if firsts[i] != "" {
+			ppls = append(ppls, f.lm.Perplexity(firsts[i]))
+		}
+	}
+	sort.Float64s(ppls)
+	pplThreshold := 0.0
+	if len(ppls) > 0 {
+		idx := int(f.cfg.PerplexityQuantile * float64(len(ppls)))
+		if idx >= len(ppls) {
+			idx = len(ppls) - 1
+		}
+		pplThreshold = ppls[idx]
+	}
+	report.PerplexityThreshold = pplThreshold
+
+	seen := map[string]bool{}
+	var kept []know.Candidate
+	for i, c := range cands {
+		reason := f.check(c, firsts[i], co, pplThreshold, seen)
+		results[i] = Result{Candidate: c, Kept: reason == DropNone, Reason: reason}
+		if reason != DropNone {
+			report.Dropped[reason]++
+			continue
+		}
+		// Parse the triple now that the text is known-good.
+		rel, tail, _ := relations.ParseGeneration(firsts[i])
+		c.Text = firsts[i]
+		c.Relation = rel
+		c.Tail = tail
+		seen[c.Key()] = true
+		kept = append(kept, c)
+		report.Kept++
+	}
+	return kept, results, report
+}
+
+func (f *Filter) check(c know.Candidate, first string, co *textproc.CooccurrenceStats,
+	pplThreshold float64, seen map[string]bool) DropReason {
+	if first == "" {
+		return DropEmpty
+	}
+	if len(textproc.Tokenize(first)) < 2 {
+		return DropShortContent
+	}
+	if !textproc.LooksComplete(first) {
+		return DropIncomplete
+	}
+	// Copy detection against query, product types, and context title.
+	for _, ref := range []string{c.Query, c.TypeA, c.TypeB, c.ContextText} {
+		if ref == "" {
+			continue
+		}
+		if textproc.NormalizedEditDistance(first, ref) <= f.cfg.MaxEditDistanceRatio {
+			return DropCopy
+		}
+	}
+	if _, _, ok := relations.ParseGeneration(first); !ok {
+		return DropNoRelation
+	}
+	if pplThreshold > 0 && f.lm.Perplexity(first) > pplThreshold {
+		return DropPerplexity
+	}
+	text := textproc.NormalizeSpace(c.Text)
+	if co.IsGeneric(text, f.cfg.GenericMinFreq, f.cfg.GenericMinEntropy) &&
+		co.DistinctContexts(text) >= f.cfg.GenericMinContexts {
+		return DropGeneric
+	}
+	// Similarity filter (Eq. 1): paraphrases of the behavior context.
+	if c.ContextText != "" {
+		if f.emb.Similarity(first, c.ContextText) > f.cfg.MaxContextSimilarity {
+			return DropParaphrase
+		}
+	}
+	if seen[keyWith(c, first)] {
+		return DropDuplicate
+	}
+	return DropNone
+}
+
+func keyWith(c know.Candidate, text string) string {
+	c.Text = text
+	return c.Key()
+}
+
+func typeContext(c know.Candidate) string { return c.TypeA + "|" + c.TypeB }
+
+// Embedding exposes the filter's embedding model so downstream stages
+// (e.g. COSMO-GNN knowledge vectorization) reuse the same space.
+func (f *Filter) Embedding() *embedding.Model { return f.emb }

@@ -1,0 +1,67 @@
+package instruction
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+)
+
+// exportRecord is the JSONL schema, matching the Alpaca-style
+// instruction/input/output layout used to fine-tune LLaMA-class models —
+// the artifact a team would hand to an external training job.
+type exportRecord struct {
+	Task        string `json:"task"`
+	Instruction string `json:"instruction"`
+	Input       string `json:"input"`
+	Output      string `json:"output"`
+	Domain      string `json:"domain"`
+	Relation    string `json:"relation,omitempty"`
+	Behavior    string `json:"behavior"`
+}
+
+// WriteJSONL writes the instruction dataset as JSON lines.
+func WriteJSONL(w io.Writer, data []Instance) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, in := range data {
+		if err := enc.Encode(exportRecord{
+			Task:        string(in.Task),
+			Instruction: in.Instruction,
+			Input:       in.Input,
+			Output:      in.Output,
+			Domain:      string(in.Domain),
+			Relation:    string(in.Relation),
+			Behavior:    string(in.Behavior),
+		}); err != nil {
+			return fmt.Errorf("instruction: encode jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads an instruction dataset written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Instance, error) {
+	var out []Instance
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var rec exportRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("instruction: decode jsonl: %w", err)
+		}
+		out = append(out, Instance{
+			Task:        Task(rec.Task),
+			Instruction: rec.Instruction,
+			Input:       rec.Input,
+			Output:      rec.Output,
+			Domain:      catalog.Category(rec.Domain),
+			Relation:    relations.Relation(rec.Relation),
+			Behavior:    know.BehaviorType(rec.Behavior),
+		})
+	}
+	return out, nil
+}

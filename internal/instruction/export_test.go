@@ -1,0 +1,46 @@
+package instruction
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	cands, anns := sampleData()
+	data := NewBuilder(DefaultConfig()).Build(cands, anns)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(data) {
+		t.Fatalf("jsonl lines %d != %d instances", lines, len(data))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) {
+		t.Fatalf("round trip %d of %d", len(back), len(data))
+	}
+	for i := range data {
+		a, b := data[i], back[i]
+		a.CandidateID, b.CandidateID = 0, 0 // IDs are not serialized
+		if a != b {
+			t.Fatalf("instance %d differs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestReadJSONLGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestReadJSONLEmpty(t *testing.T) {
+	out, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v %v", out, err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package instruction builds the instruction-tuning dataset of §3.4:
+// annotated knowledge candidates are converted into natural-language
+// instruction / input / output triples covering five task types across
+// 18 product domains and 15 relation types. Typical knowledge becomes the
+// desired output of the generation task; annotation labels become the
+// desired outputs of the four prediction tasks. Multiple verbalization
+// templates ("search query", "user input", "user searched:") make the
+// tuned model robust to format variation.
+package instruction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosmo/internal/annotation"
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+)
+
+// Task is one of the five instruction task types.
+type Task string
+
+// The five task types of §3.4.
+const (
+	TaskGenerate        Task = "knowledge-generation"
+	TaskPlausibility    Task = "plausibility-prediction"
+	TaskTypicality      Task = "typicality-prediction"
+	TaskCoPurchase      Task = "co-purchase-prediction"
+	TaskSearchRelevance Task = "search-relevance-prediction"
+)
+
+// Tasks lists all five task types.
+func Tasks() []Task {
+	return []Task{TaskGenerate, TaskPlausibility, TaskTypicality, TaskCoPurchase, TaskSearchRelevance}
+}
+
+// Instance is one instruction-tuning example.
+type Instance struct {
+	Task        Task
+	Instruction string
+	Input       string
+	Output      string
+	Domain      catalog.Category
+	Relation    relations.Relation
+	Behavior    know.BehaviorType
+	// CandidateID links back to the source candidate.
+	CandidateID int
+}
+
+// Config controls dataset construction.
+type Config struct {
+	Seed int64
+	// IncludeTasks restricts construction to a subset (for the
+	// task-diversity ablation); empty means all five.
+	IncludeTasks []Task
+}
+
+// DefaultConfig includes all five tasks.
+func DefaultConfig() Config { return Config{Seed: 29} }
+
+// queryPrefixes are the format-robustness template variants.
+var queryPrefixes = []string{"search query: %s", "user input: %s", "user searched: %s"}
+
+var generateTemplates = []string{
+	"Generate an explanation for the %s behavior in the %s domain using the %s relation.",
+	"Explain why the customer made this purchase in the %s domain (behavior: %s, relation: %s).",
+	"Write the commonsense knowledge behind this %s behavior (%s domain, relation %s).",
+}
+
+// Builder constructs instruction data.
+type Builder struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewBuilder returns a builder.
+func NewBuilder(cfg Config) *Builder {
+	return &Builder{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (b *Builder) includes(t Task) bool {
+	if len(b.cfg.IncludeTasks) == 0 {
+		return true
+	}
+	for _, x := range b.cfg.IncludeTasks {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// verbalizeInput renders the behavior head with a random template prefix.
+func (b *Builder) verbalizeInput(c know.Candidate) string {
+	if c.Behavior == know.SearchBuy {
+		prefix := queryPrefixes[b.rng.Intn(len(queryPrefixes))]
+		return fmt.Sprintf(prefix, c.Query) + " | purchased: " + c.ContextText
+	}
+	return "co-purchased products: " + c.ContextText
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}
+
+// Build converts annotated candidates into instruction instances. The
+// candidates and annotations must be aligned (anns[i] labels cands[i]).
+func (b *Builder) Build(cands []know.Candidate, anns []annotation.Annotation) []Instance {
+	var out []Instance
+	for i, c := range cands {
+		a := anns[i]
+		input := b.verbalizeInput(c)
+		if b.includes(TaskGenerate) && a.Typical() {
+			tmpl := generateTemplates[b.rng.Intn(len(generateTemplates))]
+			out = append(out, Instance{
+				Task: TaskGenerate,
+				Instruction: fmt.Sprintf(tmpl, string(c.Behavior), string(c.Domain),
+					string(c.Relation)),
+				Input: input, Output: c.Text,
+				Domain: c.Domain, Relation: c.Relation, Behavior: c.Behavior,
+				CandidateID: c.ID,
+			})
+		}
+		if b.includes(TaskPlausibility) {
+			out = append(out, Instance{
+				Task:        TaskPlausibility,
+				Instruction: "Is the following explanation plausible for the behavior? Answer yes or no.",
+				Input:       input + " | explanation: " + c.Text,
+				Output:      yesNo(a.Plausible()),
+				Domain:      c.Domain, Relation: c.Relation, Behavior: c.Behavior,
+				CandidateID: c.ID,
+			})
+		}
+		if b.includes(TaskTypicality) {
+			out = append(out, Instance{
+				Task:        TaskTypicality,
+				Instruction: "Is the following explanation typical of the shopping behavior? Answer yes or no.",
+				Input:       input + " | explanation: " + c.Text,
+				Output:      yesNo(a.Typical()),
+				Domain:      c.Domain, Relation: c.Relation, Behavior: c.Behavior,
+				CandidateID: c.ID,
+			})
+		}
+		// The pair-relevance annotations identify irrelevant
+		// query-product pairs and random co-buy pairs (§3.4), which
+		// become negative examples for the two auxiliary tasks.
+		relevant := a.PairRelevant
+		switch c.Behavior {
+		case know.CoBuy:
+			if b.includes(TaskCoPurchase) {
+				out = append(out, Instance{
+					Task:        TaskCoPurchase,
+					Instruction: "Would these two products typically be purchased together? Answer yes or no.",
+					Input:       "co-purchased products: " + c.ContextText,
+					Output:      yesNo(relevant),
+					Domain:      c.Domain, Behavior: c.Behavior, CandidateID: c.ID,
+				})
+			}
+		case know.SearchBuy:
+			if b.includes(TaskSearchRelevance) {
+				out = append(out, Instance{
+					Task:        TaskSearchRelevance,
+					Instruction: "Is the product relevant to the search query? Answer yes or no.",
+					Input:       input,
+					Output:      yesNo(relevant),
+					Domain:      c.Domain, Behavior: c.Behavior, CandidateID: c.ID,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes an instruction dataset.
+type Stats struct {
+	Total     int
+	PerTask   map[Task]int
+	Domains   int
+	Relations int
+}
+
+// Summarize computes coverage statistics.
+func Summarize(data []Instance) Stats {
+	s := Stats{PerTask: map[Task]int{}}
+	doms := map[catalog.Category]bool{}
+	rels := map[relations.Relation]bool{}
+	for _, in := range data {
+		s.Total++
+		s.PerTask[in.Task]++
+		doms[in.Domain] = true
+		if in.Relation != "" {
+			rels[in.Relation] = true
+		}
+	}
+	s.Domains = len(doms)
+	s.Relations = len(rels)
+	return s
+}

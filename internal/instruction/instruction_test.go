@@ -1,0 +1,167 @@
+package instruction
+
+import (
+	"strings"
+	"testing"
+
+	"cosmo/internal/annotation"
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/llm"
+	"cosmo/internal/relations"
+)
+
+func sampleData() ([]know.Candidate, []annotation.Annotation) {
+	truthTypical := llm.Truth{Complete: true, Relevant: true, Informative: true, Plausible: true, Typical: true}
+	truthNoise := llm.Truth{Complete: true, Relevant: false, Informative: true, Plausible: false, Typical: false}
+	cands := []know.Candidate{
+		{ID: 1, Behavior: know.SearchBuy, Domain: catalog.Sports, Query: "camping",
+			ContextText: "Acme air mattress", Text: "used for camping in the mountains",
+			Relation: relations.UsedForEve, Truth: truthTypical, PairIntentional: true},
+		{ID: 2, Behavior: know.CoBuy, Domain: catalog.Electronics,
+			ContextText: "camera case and screen protector", Text: "capable of providing protection for camera",
+			Relation: relations.CapableOf, Truth: truthTypical, PairIntentional: true},
+		{ID: 3, Behavior: know.SearchBuy, Domain: catalog.PetSupplies, Query: "fence post",
+			ContextText: "Zenith dog leash", Text: "used to build a fence",
+			Relation: relations.UsedTo, Truth: truthNoise},
+	}
+	o := annotation.NewOracle(annotation.Config{Seed: 1})
+	return cands, o.AnnotateAll(cands)
+}
+
+func TestBuildProducesAllTaskTypes(t *testing.T) {
+	cands, anns := sampleData()
+	b := NewBuilder(DefaultConfig())
+	data := b.Build(cands, anns)
+	s := Summarize(data)
+	for _, task := range Tasks() {
+		if s.PerTask[task] == 0 {
+			t.Errorf("task %s has no instances", task)
+		}
+	}
+}
+
+func TestGenerationOnlyFromTypical(t *testing.T) {
+	cands, anns := sampleData()
+	b := NewBuilder(DefaultConfig())
+	for _, in := range b.Build(cands, anns) {
+		if in.Task != TaskGenerate {
+			continue
+		}
+		if in.CandidateID == 3 {
+			t.Error("non-typical candidate became a generation example")
+		}
+		if in.Output == "" {
+			t.Error("generation output empty")
+		}
+	}
+}
+
+func TestPredictionLabelsMatchAnnotations(t *testing.T) {
+	cands, anns := sampleData()
+	b := NewBuilder(DefaultConfig())
+	byID := map[int]annotation.Annotation{}
+	for i, a := range anns {
+		byID[cands[i].ID] = a
+	}
+	for _, in := range b.Build(cands, anns) {
+		switch in.Task {
+		case TaskPlausibility:
+			want := "no"
+			if byID[in.CandidateID].Plausible() {
+				want = "yes"
+			}
+			if in.Output != want {
+				t.Errorf("plausibility label for %d = %q, want %q", in.CandidateID, in.Output, want)
+			}
+		case TaskTypicality:
+			want := "no"
+			if byID[in.CandidateID].Typical() {
+				want = "yes"
+			}
+			if in.Output != want {
+				t.Errorf("typicality label for %d = %q, want %q", in.CandidateID, in.Output, want)
+			}
+		}
+	}
+}
+
+func TestCoPurchaseOnlyFromCoBuy(t *testing.T) {
+	cands, anns := sampleData()
+	b := NewBuilder(DefaultConfig())
+	for _, in := range b.Build(cands, anns) {
+		if in.Task == TaskCoPurchase && in.Behavior != know.CoBuy {
+			t.Error("co-purchase task from non-co-buy behavior")
+		}
+		if in.Task == TaskSearchRelevance && in.Behavior != know.SearchBuy {
+			t.Error("search-relevance task from non-search behavior")
+		}
+	}
+}
+
+func TestIncludeTasksRestricts(t *testing.T) {
+	cands, anns := sampleData()
+	b := NewBuilder(Config{Seed: 1, IncludeTasks: []Task{TaskGenerate}})
+	for _, in := range b.Build(cands, anns) {
+		if in.Task != TaskGenerate {
+			t.Errorf("unexpected task %s", in.Task)
+		}
+	}
+}
+
+func TestTemplateVariety(t *testing.T) {
+	// With many search-buy candidates the builder must use more than one
+	// input template.
+	truth := llm.Truth{Complete: true, Relevant: true, Informative: true, Plausible: true, Typical: true}
+	var cands []know.Candidate
+	for i := 0; i < 60; i++ {
+		cands = append(cands, know.Candidate{
+			ID: i, Behavior: know.SearchBuy, Domain: catalog.Sports,
+			Query: "camping", ContextText: "Acme tent",
+			Text: "used for camping in the mountains", Relation: relations.UsedForEve,
+			Truth: truth,
+		})
+	}
+	o := annotation.NewOracle(annotation.Config{Seed: 2})
+	b := NewBuilder(DefaultConfig())
+	prefixes := map[string]bool{}
+	for _, in := range b.Build(cands, o.AnnotateAll(cands)) {
+		if in.Task != TaskGenerate {
+			continue
+		}
+		prefixes[strings.SplitN(in.Input, ":", 2)[0]] = true
+	}
+	if len(prefixes) < 2 {
+		t.Errorf("only %d input template prefixes used", len(prefixes))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cands, anns := sampleData()
+	b := NewBuilder(DefaultConfig())
+	data := b.Build(cands, anns)
+	s := Summarize(data)
+	if s.Total != len(data) {
+		t.Errorf("total %d != %d", s.Total, len(data))
+	}
+	if s.Domains < 3 {
+		t.Errorf("domains = %d", s.Domains)
+	}
+	if s.Relations < 3 {
+		t.Errorf("relations = %d", s.Relations)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cands, anns := sampleData()
+	d1 := NewBuilder(DefaultConfig()).Build(cands, anns)
+	d2 := NewBuilder(DefaultConfig()).Build(cands, anns)
+	if len(d1) != len(d2) {
+		t.Fatal("lengths differ")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package kg
+
+import (
+	"sort"
+	"strings"
+
+	"cosmo/internal/textproc"
+)
+
+// HierarchyNode is one node of the intention hierarchy of paper Figure 8:
+// coarse-grained intentions ("camping") expand to fine-grained ones
+// ("winter camping"), whose leaves link to product concepts
+// ("winter boots").
+type HierarchyNode struct {
+	Label    string
+	Children []*HierarchyNode
+	// Products are linked product-concept labels (for leaf intents).
+	Products []string
+	// EdgeCount is the KG support behind this intention.
+	EdgeCount int
+}
+
+// BuildHierarchy organizes the graph's intention tails into a
+// specialization forest: tail B is a child of tail A when A's content
+// tokens are a strict subset of B's (e.g. "camping" ⊂ "winter camping").
+// Products attached to an intention in the KG become the leaf links.
+// Roots are returned sorted by descending edge support.
+func (g *Graph) BuildHierarchy(minSupport int) []*HierarchyNode {
+	g.mu.RLock()
+	type info struct {
+		label    string
+		tokens   map[string]bool
+		count    int
+		products map[string]bool
+	}
+	byTail := map[string]*info{}
+	for _, e := range g.edges {
+		n := g.nodes[e.Tail]
+		in := byTail[e.Tail]
+		if in == nil {
+			toks := map[string]bool{}
+			for _, t := range textproc.StemAll(textproc.ContentTokens(n.Label)) {
+				toks[t] = true
+			}
+			in = &info{label: n.Label, tokens: toks, products: map[string]bool{}}
+			byTail[e.Tail] = in
+		}
+		in.count += e.Support
+		if hn, ok := g.nodes[e.Head]; ok && hn.Type == NodeProduct {
+			in.products[hn.Label] = true
+		}
+	}
+	g.mu.RUnlock()
+
+	infos := make([]*info, 0, len(byTail))
+	for _, in := range byTail {
+		if in.count >= minSupport && len(in.tokens) > 0 {
+			infos = append(infos, in)
+		}
+	}
+	// Sort by token-set size so parents precede children.
+	sort.Slice(infos, func(i, j int) bool {
+		if len(infos[i].tokens) != len(infos[j].tokens) {
+			return len(infos[i].tokens) < len(infos[j].tokens)
+		}
+		return infos[i].label < infos[j].label
+	})
+	nodes := make([]*HierarchyNode, len(infos))
+	for i, in := range infos {
+		products := make([]string, 0, len(in.products))
+		for p := range in.products {
+			products = append(products, p)
+		}
+		sort.Strings(products)
+		nodes[i] = &HierarchyNode{Label: in.label, Products: products, EdgeCount: in.count}
+	}
+	// Attach each node to its most specific strict-subset ancestor.
+	isSubset := func(a, b map[string]bool) bool {
+		if len(a) >= len(b) {
+			return false
+		}
+		for t := range a {
+			if !b[t] {
+				return false
+			}
+		}
+		return true
+	}
+	var roots []*HierarchyNode
+	for i := range infos {
+		bestParent := -1
+		for j := i - 1; j >= 0; j-- {
+			if isSubset(infos[j].tokens, infos[i].tokens) {
+				if bestParent == -1 || len(infos[j].tokens) > len(infos[bestParent].tokens) {
+					bestParent = j
+				}
+			}
+		}
+		if bestParent >= 0 {
+			nodes[bestParent].Children = append(nodes[bestParent].Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].EdgeCount != roots[j].EdgeCount {
+			return roots[i].EdgeCount > roots[j].EdgeCount
+		}
+		return roots[i].Label < roots[j].Label
+	})
+	return roots
+}
+
+// Render pretty-prints a hierarchy subtree to depth levels.
+func (n *HierarchyNode) Render(depth int) string {
+	var b strings.Builder
+	n.render(&b, 0, depth)
+	return b.String()
+}
+
+func (n *HierarchyNode) render(b *strings.Builder, indent, depth int) {
+	b.WriteString(strings.Repeat("  ", indent))
+	b.WriteString(n.Label)
+	if len(n.Products) > 0 {
+		b.WriteString(" -> [")
+		max := len(n.Products)
+		if max > 3 {
+			max = 3
+		}
+		b.WriteString(strings.Join(n.Products[:max], ", "))
+		b.WriteString("]")
+	}
+	b.WriteString("\n")
+	if depth <= 0 {
+		return
+	}
+	for _, c := range n.Children {
+		c.render(b, indent+1, depth-1)
+	}
+}
+
+// Size returns the number of nodes in the subtree.
+func (n *HierarchyNode) Size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}

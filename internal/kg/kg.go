@@ -1,0 +1,316 @@
+// Package kg implements the COSMO knowledge-graph store: typed nodes
+// (products, queries, intentions), scored edges (head, relation, tail),
+// secondary indexes, per-domain statistics (paper Tables 1 and 3), the
+// intention hierarchy of Figure 8, and serialization.
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+)
+
+// NodeType classifies graph nodes.
+type NodeType string
+
+// Node types; the paper's Table 1 lists product, query and intention.
+const (
+	NodeProduct   NodeType = "product"
+	NodeQuery     NodeType = "query"
+	NodeIntention NodeType = "intention"
+)
+
+// Node is one graph node.
+type Node struct {
+	ID   string
+	Type NodeType
+	// Label is the human-readable surface (title, query text, or tail).
+	Label string
+}
+
+// Edge is one knowledge assertion: head --relation--> intention tail,
+// annotated with critic scores and provenance.
+type Edge struct {
+	// Head is a product node ID (co-buy) or query node ID (search-buy);
+	// for co-buy both products point at the shared intention.
+	Head     string
+	Relation relations.Relation
+	// Tail is the intention node ID.
+	Tail string
+
+	Behavior       know.BehaviorType
+	Domain         catalog.Category
+	PlausibleScore float64
+	TypicalScore   float64
+	// Support counts how many behavior observations produced this edge.
+	Support int
+}
+
+// Graph is the knowledge graph. Writes happen during construction;
+// concurrent reads are safe after Freeze (or via the RWMutex otherwise).
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[string]Node
+	edges map[string]*Edge // key: head|rel|tail
+	// indexes
+	byHead     map[string][]string
+	byTail     map[string][]string
+	byRelation map[relations.Relation][]string
+	byDomain   map[catalog.Category][]string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:      map[string]Node{},
+		edges:      map[string]*Edge{},
+		byHead:     map[string][]string{},
+		byTail:     map[string][]string{},
+		byRelation: map[relations.Relation][]string{},
+		byDomain:   map[catalog.Category][]string{},
+	}
+}
+
+// IntentionID returns the canonical node ID for an intention tail.
+func IntentionID(rel relations.Relation, tail string) string {
+	return "i:" + string(rel) + ":" + tail
+}
+
+// ProductID returns the node ID for a product.
+func ProductID(id string) string { return "p:" + id }
+
+// QueryID returns the node ID for a query.
+func QueryID(q string) string { return "q:" + q }
+
+// AddNode inserts or updates a node.
+func (g *Graph) AddNode(n Node) {
+	g.mu.Lock()
+	g.nodes[n.ID] = n
+	g.mu.Unlock()
+}
+
+func edgeKey(head string, rel relations.Relation, tail string) string {
+	return head + "|" + string(rel) + "|" + tail
+}
+
+// AddEdge inserts an edge, merging support and keeping max scores when
+// the same assertion already exists. Head and tail nodes must exist.
+func (g *Graph) AddEdge(e Edge) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[e.Head]; !ok {
+		return fmt.Errorf("kg: unknown head node %q", e.Head)
+	}
+	if _, ok := g.nodes[e.Tail]; !ok {
+		return fmt.Errorf("kg: unknown tail node %q", e.Tail)
+	}
+	k := edgeKey(e.Head, e.Relation, e.Tail)
+	if old, ok := g.edges[k]; ok {
+		old.Support += e.Support
+		if e.PlausibleScore > old.PlausibleScore {
+			old.PlausibleScore = e.PlausibleScore
+		}
+		if e.TypicalScore > old.TypicalScore {
+			old.TypicalScore = e.TypicalScore
+		}
+		return nil
+	}
+	cp := e
+	if cp.Support == 0 {
+		cp.Support = 1
+	}
+	g.edges[k] = &cp
+	g.byHead[e.Head] = append(g.byHead[e.Head], k)
+	g.byTail[e.Tail] = append(g.byTail[e.Tail], k)
+	g.byRelation[e.Relation] = append(g.byRelation[e.Relation], k)
+	g.byDomain[e.Domain] = append(g.byDomain[e.Domain], k)
+	return nil
+}
+
+// AddAssertion is the high-level insert used by the pipeline: it creates
+// the head, relation and intention nodes as needed and adds the edge.
+func (g *Graph) AddAssertion(c know.Candidate) error {
+	if c.Relation == "" || c.Tail == "" {
+		return fmt.Errorf("kg: candidate %d has no parsed triple", c.ID)
+	}
+	tailID := IntentionID(c.Relation, c.Tail)
+	g.AddNode(Node{ID: tailID, Type: NodeIntention, Label: c.Tail})
+	mk := func(head string) error {
+		return g.AddEdge(Edge{
+			Head: head, Relation: c.Relation, Tail: tailID,
+			Behavior: c.Behavior, Domain: c.Domain,
+			PlausibleScore: c.PlausibleScore, TypicalScore: c.TypicalScore,
+			Support: 1,
+		})
+	}
+	switch c.Behavior {
+	case know.SearchBuy:
+		qid := QueryID(c.Query)
+		g.AddNode(Node{ID: qid, Type: NodeQuery, Label: c.Query})
+		pid := ProductID(c.ProductA)
+		g.AddNode(Node{ID: pid, Type: NodeProduct, Label: c.ProductA})
+		if err := mk(qid); err != nil {
+			return err
+		}
+		return mk(pid)
+	default:
+		pa := ProductID(c.ProductA)
+		pb := ProductID(c.ProductB)
+		g.AddNode(Node{ID: pa, Type: NodeProduct, Label: c.ProductA})
+		g.AddNode(Node{ID: pb, Type: NodeProduct, Label: c.ProductB})
+		if err := mk(pa); err != nil {
+			return err
+		}
+		return mk(pb)
+	}
+}
+
+// Node returns a node by ID.
+func (g *Graph) Node(id string) (Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// NumRelations returns the number of distinct relations present.
+func (g *Graph) NumRelations() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byRelation)
+}
+
+func (g *Graph) collect(keys []string) []Edge {
+	out := make([]Edge, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *g.edges[k])
+	}
+	return out
+}
+
+// EdgesFrom returns all edges with the given head.
+func (g *Graph) EdgesFrom(head string) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.collect(g.byHead[head])
+}
+
+// EdgesTo returns all edges pointing at the given intention tail.
+func (g *Graph) EdgesTo(tail string) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.collect(g.byTail[tail])
+}
+
+// EdgesByRelation returns all edges of a relation.
+func (g *Graph) EdgesByRelation(r relations.Relation) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.collect(g.byRelation[r])
+}
+
+// EdgesInDomain returns all edges of a domain.
+func (g *Graph) EdgesInDomain(d catalog.Category) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.collect(g.byDomain[d])
+}
+
+// Edges returns every edge in deterministic (key-sorted) order.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	keys := make([]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return g.collect(keys)
+}
+
+// Nodes returns every node in deterministic order.
+func (g *Graph) Nodes() []Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Node, len(ids))
+	for i, id := range ids {
+		out[i] = g.nodes[id]
+	}
+	return out
+}
+
+// IntentionsFor returns the intention labels reachable from a head,
+// sorted by descending typicality score.
+func (g *Graph) IntentionsFor(head string) []Edge {
+	es := g.EdgesFrom(head)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].TypicalScore != es[j].TypicalScore {
+			return es[i].TypicalScore > es[j].TypicalScore
+		}
+		return es[i].Tail < es[j].Tail
+	})
+	return es
+}
+
+// Stats summarizes the graph (the COSMO row of paper Table 1).
+type Stats struct {
+	Nodes     int
+	Edges     int
+	Relations int
+	Domains   int
+	PerDomain map[catalog.Category]DomainStats
+}
+
+// DomainStats is one row of paper Table 3's edge counts.
+type DomainStats struct {
+	CoBuyEdges     int
+	SearchBuyEdges int
+}
+
+// ComputeStats builds graph statistics.
+func (g *Graph) ComputeStats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := Stats{
+		Nodes:     len(g.nodes),
+		Edges:     len(g.edges),
+		Relations: len(g.byRelation),
+		Domains:   len(g.byDomain),
+		PerDomain: map[catalog.Category]DomainStats{},
+	}
+	for d, keys := range g.byDomain {
+		ds := DomainStats{}
+		for _, k := range keys {
+			if g.edges[k].Behavior == know.SearchBuy {
+				ds.SearchBuyEdges++
+			} else {
+				ds.CoBuyEdges++
+			}
+		}
+		s.PerDomain[d] = ds
+	}
+	return s
+}

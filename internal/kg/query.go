@@ -1,0 +1,94 @@
+package kg
+
+import "sort"
+
+// Related is one product reached through shared intentions.
+type Related struct {
+	ProductID string // node ID (p:...)
+	Label     string
+	// Score aggregates the typicality-weighted support of the shared
+	// intention paths.
+	Score float64
+	// Via lists the intention labels connecting the two heads.
+	Via []string
+}
+
+// RelatedProducts walks head → intention → product two-hop paths and
+// returns up to k products sharing intentions with the head, best first.
+// This is the KG-native form of the "substitute / complement through a
+// shared reason" signal the downstream applications consume.
+func (g *Graph) RelatedProducts(head string, k int) []Related {
+	type agg struct {
+		score float64
+		via   map[string]bool
+	}
+	acc := map[string]*agg{}
+	for _, e := range g.EdgesFrom(head) {
+		tailNode, _ := g.Node(e.Tail)
+		for _, back := range g.EdgesTo(e.Tail) {
+			if back.Head == head {
+				continue
+			}
+			n, ok := g.Node(back.Head)
+			if !ok || n.Type != NodeProduct {
+				continue
+			}
+			a := acc[back.Head]
+			if a == nil {
+				a = &agg{via: map[string]bool{}}
+				acc[back.Head] = a
+			}
+			w := e.TypicalScore * back.TypicalScore * float64(min(e.Support, back.Support))
+			if w <= 0 {
+				w = 0.01
+			}
+			a.score += w
+			a.via[tailNode.Label] = true
+		}
+	}
+	out := make([]Related, 0, len(acc))
+	for id, a := range acc {
+		n, _ := g.Node(id)
+		via := make([]string, 0, len(a.via))
+		for v := range a.via {
+			via = append(via, v)
+		}
+		sort.Strings(via)
+		out = append(out, Related{ProductID: id, Label: n.Label, Score: a.score, Via: via})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Subgraph returns a new graph containing only edges whose domain is in
+// domains (all nodes referenced by those edges are copied).
+func (g *Graph) Subgraph(domains map[string]bool) *Graph {
+	out := New()
+	for _, e := range g.Edges() {
+		if !domains[string(e.Domain)] {
+			continue
+		}
+		hn, _ := g.Node(e.Head)
+		tn, _ := g.Node(e.Tail)
+		out.AddNode(hn)
+		out.AddNode(tn)
+		// Error impossible: both nodes were just added.
+		_ = out.AddEdge(e)
+	}
+	return out
+}

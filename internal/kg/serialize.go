@@ -1,0 +1,99 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// snapshot is the serializable form of the graph.
+type snapshot struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// WriteGob serializes the graph in gob format.
+func (g *Graph) WriteGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snapshot{Nodes: g.Nodes(), Edges: g.Edges()})
+}
+
+// ReadGob loads a graph from gob format.
+func ReadGob(r io.Reader) (*Graph, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("kg: decode gob: %w", err)
+	}
+	return fromSnapshot(s)
+}
+
+// WriteJSONL writes one JSON object per edge (with embedded node labels),
+// the interchange format used by downstream feature pipelines.
+func (g *Graph) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	type rec struct {
+		Head      string  `json:"head"`
+		HeadLabel string  `json:"head_label"`
+		Relation  string  `json:"relation"`
+		Tail      string  `json:"tail"`
+		TailLabel string  `json:"tail_label"`
+		Behavior  string  `json:"behavior"`
+		Domain    string  `json:"domain"`
+		Plausible float64 `json:"plausible"`
+		Typical   float64 `json:"typical"`
+		Support   int     `json:"support"`
+	}
+	for _, e := range g.Edges() {
+		hn, _ := g.Node(e.Head)
+		tn, _ := g.Node(e.Tail)
+		if err := enc.Encode(rec{
+			Head: e.Head, HeadLabel: hn.Label,
+			Relation: string(e.Relation),
+			Tail:     e.Tail, TailLabel: tn.Label,
+			Behavior: string(e.Behavior), Domain: string(e.Domain),
+			Plausible: e.PlausibleScore, Typical: e.TypicalScore,
+			Support: e.Support,
+		}); err != nil {
+			return fmt.Errorf("kg: encode jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTSV writes a head\trelation\ttail\tscore table.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "head\trelation\ttail\tplausible\ttypical\tsupport"); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		tn, _ := g.Node(e.Tail)
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%.4f\t%.4f\t%d\n",
+			e.Head, e.Relation, sanitizeTSV(tn.Label),
+			e.PlausibleScore, e.TypicalScore, e.Support); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeTSV(s string) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+func fromSnapshot(s snapshot) (*Graph, error) {
+	g := New()
+	for _, n := range s.Nodes {
+		g.AddNode(n)
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

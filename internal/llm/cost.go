@@ -1,0 +1,61 @@
+package llm
+
+import "sync"
+
+// Per-token simulated inference cost in milliseconds of GPU time. The
+// ratios follow parameter counts: OPT-175b is ~6x OPT-30b; the distilled
+// 7b-class COSMO-LM (see internal/cosmolm) charges CostPerTokenCosmoLM.
+const (
+	CostPerTokenOPT30B  = 12.0 // ms/token on the paper's 16-A100 setup
+	CostPerTokenOPT175B = 70.0 // ms/token
+	CostPerTokenCosmoLM = 2.5  // ms/token for the 7b instruction-tuned LM
+	// promptTokens models the prompt-processing work per call; its cost
+	// scales with the model's per-token rate like the generation itself.
+	promptTokens = 40.0
+)
+
+// CostSnapshot reports accumulated simulated inference cost.
+type CostSnapshot struct {
+	Calls       int
+	Tokens      int
+	SimulatedMs float64
+}
+
+// CostMeter accumulates simulated inference cost; safe for concurrent use.
+type CostMeter struct {
+	mu   sync.Mutex
+	snap CostSnapshot
+}
+
+// Charge records one generation call of n tokens on the given model size.
+func (m *CostMeter) Charge(size ModelSize, tokens int) {
+	per := CostPerTokenOPT30B
+	if size == OPT175B {
+		per = CostPerTokenOPT175B
+	}
+	m.ChargeCustom(per, tokens)
+}
+
+// ChargeCustom records a call with an explicit per-token cost (used by
+// COSMO-LM, which shares the meter format).
+func (m *CostMeter) ChargeCustom(perToken float64, tokens int) {
+	m.mu.Lock()
+	m.snap.Calls++
+	m.snap.Tokens += tokens
+	m.snap.SimulatedMs += perToken * (promptTokens + float64(tokens))
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated totals.
+func (m *CostMeter) Snapshot() CostSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap
+}
+
+// Reset zeroes the meter.
+func (m *CostMeter) Reset() {
+	m.mu.Lock()
+	m.snap = CostSnapshot{}
+	m.mu.Unlock()
+}

@@ -1,0 +1,346 @@
+// Package llm simulates the teacher large language models (OPT-30b /
+// OPT-175b in the paper) that COSMO distills knowledge from.
+//
+// The simulator reproduces the teacher's externally visible behavior:
+// given a QA-style prompt verbalizing a user behavior (Figure 3 of the
+// paper), it emits a ranked list of knowledge candidates whose
+// distribution mixes the generation modes the paper reports —
+// faithful/typical knowledge, one-sided intentions for co-buys (the
+// cause of the low co-buy typicality in Table 4), generic intentions
+// ("customers bought them because they like them"), paraphrases of the
+// behavior context, incomplete truncations, and hallucinations.
+// Every candidate carries hidden ground-truth labels consumed only by
+// the annotation oracle and evaluation.
+//
+// A cost model accounts for simulated inference expense so that the
+// paper's efficiency claim (COSMO-LM ≫ cheaper than the teacher) is
+// measurable.
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/relations"
+	"cosmo/internal/textproc"
+)
+
+// NoiseMode identifies the generation mode of a candidate (ground truth,
+// never visible to the pipeline).
+type NoiseMode string
+
+// Generation modes.
+const (
+	ModeTypical       NoiseMode = "typical"
+	ModeOneSided      NoiseMode = "one-sided"
+	ModeGeneric       NoiseMode = "generic"
+	ModeParaphrase    NoiseMode = "paraphrase"
+	ModeIncomplete    NoiseMode = "incomplete"
+	ModeHallucination NoiseMode = "hallucination"
+)
+
+// Truth carries the five ground-truth judgments matching the paper's
+// 5-question annotation decomposition (§3.3.2).
+type Truth struct {
+	Complete    bool
+	Relevant    bool
+	Informative bool
+	Plausible   bool
+	Typical     bool
+	Mode        NoiseMode
+}
+
+// Candidate is one generated knowledge string plus hidden ground truth.
+type Candidate struct {
+	Text  string
+	Truth Truth
+}
+
+// ModelSize selects the simulated teacher scale.
+type ModelSize string
+
+// Teacher model scales from the paper.
+const (
+	OPT30B  ModelSize = "opt-30b"
+	OPT175B ModelSize = "opt-175b"
+)
+
+// Config tunes the teacher's generation-mode mixture.
+type Config struct {
+	Size ModelSize
+	Seed int64
+	// TypicalRate is the probability a candidate is faithful/typical.
+	TypicalRate float64
+	// OneSidedRate applies to co-buy behaviors only: probability the
+	// model explains just one product of the pair.
+	OneSidedRate float64
+	// GenericRate, ParaphraseRate, IncompleteRate: remaining noise modes;
+	// leftovers become hallucinations.
+	GenericRate    float64
+	ParaphraseRate float64
+	IncompleteRate float64
+}
+
+// DefaultConfig returns mode rates calibrated so that annotated ratios
+// land near the paper's Table 4 (search-buy typicality ≈ 35%, co-buy
+// notably lower) after coarse filtering. The 175b teacher is both more
+// faithful (higher typical rate, less generic filler) and ~6x more
+// expensive per token, matching the scaling behaviour the paper relied
+// on when choosing generation models.
+func DefaultConfig(size ModelSize) Config {
+	cfg := Config{
+		Size:           size,
+		Seed:           11,
+		TypicalRate:    0.40,
+		OneSidedRate:   0.35,
+		GenericRate:    0.20,
+		ParaphraseRate: 0.15,
+		IncompleteRate: 0.12,
+	}
+	if size == OPT175B {
+		cfg.TypicalRate = 0.48
+		cfg.GenericRate = 0.15
+		cfg.IncompleteRate = 0.08
+	}
+	return cfg
+}
+
+// Teacher is the simulated large language model.
+type Teacher struct {
+	cat *catalog.Catalog
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	cost CostMeter
+}
+
+// NewTeacher builds a teacher over the catalog.
+func NewTeacher(cat *catalog.Catalog, cfg Config) *Teacher {
+	return &Teacher{
+		cat: cat,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Cost returns a snapshot of accumulated simulated inference cost.
+func (t *Teacher) Cost() CostSnapshot { return t.cost.Snapshot() }
+
+var genericPool = []string{
+	"customers bought them together because they like them",
+	"used for the same reason",
+	"they are both good products",
+	"customers often buy them at the same time",
+	"used with other products",
+	"because it is popular",
+	"bought as a gift",
+}
+
+// GenerateCoBuy emits k candidates explaining why products a and b are
+// co-purchased.
+func (t *Teacher) GenerateCoBuy(a, b catalog.Product, k int) []Candidate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Candidate, 0, k)
+	shared := t.cat.SharedIntents(a, b)
+	for i := 0; i < k; i++ {
+		r := t.rng.Float64()
+		var c Candidate
+		switch {
+		case r < t.cfg.TypicalRate && len(shared) > 0:
+			in := shared[t.rng.Intn(len(shared))]
+			c = Candidate{Text: in.Surface(), Truth: Truth{
+				Complete: true, Relevant: true, Informative: true,
+				Plausible: true, Typical: true, Mode: ModeTypical,
+			}}
+		case r < t.cfg.TypicalRate+t.cfg.OneSidedRate:
+			// Intention of one product only — plausible, not typical for
+			// the pair (the paper's dominant co-buy failure mode).
+			p := a
+			if t.rng.Intn(2) == 1 {
+				p = b
+			}
+			ins := t.cat.IntentsOf(p)
+			if len(ins) == 0 {
+				c = t.genericCandidate()
+				break
+			}
+			in := ins[t.rng.Intn(len(ins))]
+			typical := false
+			// If the one-sided intent happens to be shared it is typical.
+			for _, s := range shared {
+				if s == in {
+					typical = true
+				}
+			}
+			c = Candidate{Text: in.Surface(), Truth: Truth{
+				Complete: true, Relevant: true, Informative: true,
+				Plausible: true, Typical: typical, Mode: ModeOneSided,
+			}}
+		default:
+			c = t.noiseCandidate(a.Title + " and " + b.Title)
+		}
+		out = append(out, c)
+		t.cost.Charge(t.cfg.Size, len(textproc.Tokenize(c.Text)))
+	}
+	return out
+}
+
+// GenerateSearchBuy emits k candidates explaining why query led to the
+// purchase of p.
+func (t *Teacher) GenerateSearchBuy(query string, p catalog.Product, k int) []Candidate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Candidate, 0, k)
+	ins := t.cat.IntentsOf(p)
+	for i := 0; i < k; i++ {
+		r := t.rng.Float64()
+		var c Candidate
+		switch {
+		case r < t.cfg.TypicalRate+t.cfg.OneSidedRate && len(ins) > 0:
+			// Search-buy has no one-sided failure mode: the product's own
+			// intents are the right explanations, so typicality is higher
+			// (paper Table 4).
+			in := ins[t.rng.Intn(len(ins))]
+			c = Candidate{Text: in.Surface(), Truth: Truth{
+				Complete: true, Relevant: true, Informative: true,
+				Plausible: true, Typical: true, Mode: ModeTypical,
+			}}
+		default:
+			c = t.noiseCandidate(query + " " + p.Title)
+		}
+		out = append(out, c)
+		t.cost.Charge(t.cfg.Size, len(textproc.Tokenize(c.Text)))
+	}
+	return out
+}
+
+// noiseCandidate picks among generic / paraphrase / incomplete /
+// hallucination modes. Caller holds the lock.
+func (t *Teacher) noiseCandidate(context string) Candidate {
+	total := t.cfg.GenericRate + t.cfg.ParaphraseRate + t.cfg.IncompleteRate
+	r := t.rng.Float64() * (total + 0.08) // leftover → hallucination
+	switch {
+	case r < t.cfg.GenericRate:
+		return t.genericCandidate()
+	case r < t.cfg.GenericRate+t.cfg.ParaphraseRate:
+		return Candidate{Text: paraphrase(t.rng, context), Truth: Truth{
+			Complete: true, Relevant: true, Informative: false,
+			Plausible: true, Typical: false, Mode: ModeParaphrase,
+		}}
+	case r < total:
+		// Truncate a plausible-looking generation mid-phrase.
+		full := t.hallucinatedText()
+		words := strings.Fields(full)
+		n := 2
+		if len(words) > 3 {
+			n = 2 + t.rng.Intn(len(words)-3)
+		}
+		return Candidate{Text: strings.Join(words[:n], " "), Truth: Truth{
+			Complete: false, Relevant: false, Informative: false,
+			Plausible: false, Typical: false, Mode: ModeIncomplete,
+		}}
+	default:
+		return Candidate{Text: t.hallucinatedText(), Truth: Truth{
+			Complete: true, Relevant: false, Informative: true,
+			Plausible: false, Typical: false, Mode: ModeHallucination,
+		}}
+	}
+}
+
+func (t *Teacher) genericCandidate() Candidate {
+	return Candidate{
+		Text: genericPool[t.rng.Intn(len(genericPool))],
+		Truth: Truth{
+			Complete: true, Relevant: true, Informative: false,
+			Plausible: true, Typical: false, Mode: ModeGeneric,
+		},
+	}
+}
+
+// hallucinatedText returns a fluent but wrong intention: the surface of
+// an intent from a random unrelated product type.
+func (t *Teacher) hallucinatedText() string {
+	types := t.cat.Types()
+	for tries := 0; tries < 10; tries++ {
+		pt, _ := t.cat.Type(types[t.rng.Intn(len(types))])
+		if len(pt.Intents) > 0 {
+			in := pt.Intents[t.rng.Intn(len(pt.Intents))]
+			return in.Surface()
+		}
+	}
+	return "used for general purposes"
+}
+
+// paraphrase restates the behavior context with light syntactic
+// transformation — the failure mode the similarity filter removes.
+func paraphrase(rng *rand.Rand, context string) string {
+	toks := textproc.Tokenize(context)
+	if len(toks) > 6 {
+		toks = toks[:6]
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return "a " + strings.Join(toks, " ")
+	case 1:
+		return "is a " + strings.Join(toks, " ")
+	default:
+		return "used with " + strings.Join(toks, " ")
+	}
+}
+
+// Prompt renders the QA-style prompts of Figure 3.
+type Prompt struct {
+	BehaviorType string // "search-buy" or "co-buy"
+	Domain       catalog.Category
+	Relation     relations.Relation
+	Context      string // verbalized behavior
+}
+
+// Render produces the full prompt text, ending with the "1." list trick
+// the paper describes.
+func (p Prompt) Render() string {
+	var b strings.Builder
+	switch p.BehaviorType {
+	case "search-buy":
+		b.WriteString("The following search query caused the following product purchases in the ")
+		b.WriteString(string(p.Domain))
+		b.WriteString(" domain.\n")
+	default:
+		b.WriteString("The following two products were bought together in the ")
+		b.WriteString(string(p.Domain))
+		b.WriteString(" domain.\n")
+	}
+	b.WriteString(p.Context)
+	b.WriteString("\nQuestion: why did the customer make this purchase?\nAnswer: because the product is ")
+	if info, ok := relations.Lookup(p.Relation); ok {
+		b.WriteString(fmt.Sprintf(info.Pattern, "..."))
+	}
+	b.WriteString("\n1.")
+	return b.String()
+}
+
+// CoBuyPrompt builds the co-buy prompt for a pair.
+func CoBuyPrompt(a, b catalog.Product, rel relations.Relation) Prompt {
+	return Prompt{
+		BehaviorType: "co-buy",
+		Domain:       a.Category,
+		Relation:     rel,
+		Context:      fmt.Sprintf("Product 1: %s\nProduct 2: %s", a.Title, b.Title),
+	}
+}
+
+// SearchBuyPrompt builds the search-buy prompt.
+func SearchBuyPrompt(query string, p catalog.Product, rel relations.Relation) Prompt {
+	return Prompt{
+		BehaviorType: "search-buy",
+		Domain:       p.Category,
+		Relation:     rel,
+		Context:      fmt.Sprintf("Search query: %s\nPurchased product: %s", query, p.Title),
+	}
+}

@@ -1,0 +1,85 @@
+package navigation
+
+import (
+	"sort"
+	"strings"
+
+	"cosmo/internal/catalog"
+)
+
+// AttributeOption is one attribute-based refinement (Figure 9's third
+// layer): after the shopper has narrowed to an intention, the result set
+// is filtered by product attributes such as brand or feature adjectives.
+type AttributeOption struct {
+	// Kind is "brand" or "feature".
+	Kind string
+	// Value is the attribute surface ("Acme", "Waterproof").
+	Value string
+	// Count is how many candidate products carry the attribute.
+	Count int
+}
+
+// AttributeOptions mines refinement attributes from a candidate product
+// list. Brands come from the catalog record; features are the title
+// adjectives preceding the product-type name.
+func AttributeOptions(cat *catalog.Catalog, productIDs []string, k int) []AttributeOption {
+	brands := map[string]int{}
+	features := map[string]int{}
+	for _, id := range productIDs {
+		p, ok := cat.ByID(id)
+		if !ok {
+			continue
+		}
+		brands[p.Brand]++
+		// The feature adjective sits between the brand and the type in
+		// generated titles: "<Brand> <Feature...> <type> [suffix]".
+		rest := strings.TrimPrefix(p.Title, p.Brand+" ")
+		if i := strings.Index(rest, p.Type); i > 0 {
+			if f := strings.TrimSpace(rest[:i]); f != "" {
+				features[f]++
+			}
+		}
+	}
+	var out []AttributeOption
+	for v, c := range brands {
+		out = append(out, AttributeOption{Kind: "brand", Value: v, Count: c})
+	}
+	for v, c := range features {
+		out = append(out, AttributeOption{Kind: "feature", Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Value < out[j].Value
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// FilterByAttribute returns the subset of productIDs matching the option.
+func FilterByAttribute(cat *catalog.Catalog, productIDs []string, opt AttributeOption) []string {
+	var out []string
+	for _, id := range productIDs {
+		p, ok := cat.ByID(id)
+		if !ok {
+			continue
+		}
+		switch opt.Kind {
+		case "brand":
+			if p.Brand == opt.Value {
+				out = append(out, id)
+			}
+		case "feature":
+			if strings.Contains(p.Title, opt.Value) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

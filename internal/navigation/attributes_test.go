@@ -1,0 +1,104 @@
+package navigation
+
+import (
+	"testing"
+
+	"cosmo/internal/catalog"
+)
+
+func TestAttributeOptions(t *testing.T) {
+	cat := catalog.Generate(catalog.Config{ProductsPerType: 8, Seed: 1})
+	var ids []string
+	for _, p := range cat.OfType("tent") {
+		ids = append(ids, p.ID)
+	}
+	opts := AttributeOptions(cat, ids, 10)
+	if len(opts) == 0 {
+		t.Fatal("no attribute options")
+	}
+	kinds := map[string]bool{}
+	total := 0
+	for _, o := range opts {
+		kinds[o.Kind] = true
+		if o.Count <= 0 || o.Count > len(ids) {
+			t.Fatalf("bad count: %+v", o)
+		}
+		total += o.Count
+	}
+	if !kinds["brand"] {
+		t.Error("no brand options")
+	}
+	for i := 1; i < len(opts); i++ {
+		if opts[i].Count > opts[i-1].Count {
+			t.Fatal("options not sorted by count")
+		}
+	}
+}
+
+func TestAttributeOptionsK(t *testing.T) {
+	cat := catalog.Generate(catalog.Config{ProductsPerType: 8, Seed: 1})
+	var ids []string
+	for _, p := range cat.OfType("tent") {
+		ids = append(ids, p.ID)
+	}
+	if opts := AttributeOptions(cat, ids, 2); len(opts) > 2 {
+		t.Errorf("k violated: %d", len(opts))
+	}
+	if opts := AttributeOptions(cat, nil, 5); len(opts) != 0 {
+		t.Errorf("empty input gave %d options", len(opts))
+	}
+	if opts := AttributeOptions(cat, []string{"NOPE"}, 5); len(opts) != 0 {
+		t.Errorf("unknown ids gave %d options", len(opts))
+	}
+}
+
+func TestFilterByAttribute(t *testing.T) {
+	cat := catalog.Generate(catalog.Config{ProductsPerType: 8, Seed: 1})
+	var ids []string
+	for _, p := range cat.OfType("tent") {
+		ids = append(ids, p.ID)
+	}
+	opts := AttributeOptions(cat, ids, 5)
+	for _, opt := range opts {
+		filtered := FilterByAttribute(cat, ids, opt)
+		if len(filtered) != opt.Count {
+			t.Fatalf("filter count %d != option count %d for %+v", len(filtered), opt.Count, opt)
+		}
+		for _, id := range filtered {
+			p, _ := cat.ByID(id)
+			if opt.Kind == "brand" && p.Brand != opt.Value {
+				t.Fatalf("wrong brand after filter: %s", p.Brand)
+			}
+		}
+	}
+	if got := FilterByAttribute(cat, ids, AttributeOption{Kind: "nope", Value: "x"}); len(got) != 0 {
+		t.Error("unknown kind should filter everything")
+	}
+}
+
+func TestThreeLayerNavigationFlow(t *testing.T) {
+	// The full Figure 9 flow: broad query → intent refinement → product
+	// discovery → attribute refinement.
+	cat := catalog.Generate(catalog.Config{ProductsPerType: 8, Seed: 1})
+	g := oracleKG(t, cat)
+	nav := NewNavigator(g, 1)
+
+	sess := nav.StartSession("camping")
+	opts := sess.Options(5)
+	if len(opts) == 0 {
+		t.Fatal("layer 1: no broad-concept refinements")
+	}
+	sess.Select(opts[0].Label)
+	if len(opts[0].Products) == 0 {
+		t.Fatal("layer 2: no products for refinement")
+	}
+	// In the oracle KG product labels are the product IDs.
+	attrs := AttributeOptions(cat, opts[0].Products, 5)
+	if len(attrs) == 0 {
+		t.Fatal("layer 3: no attribute refinements")
+	}
+	final := FilterByAttribute(cat, opts[0].Products, attrs[0])
+	if len(final) == 0 || len(final) > len(opts[0].Products) {
+		t.Fatalf("attribute filter produced %d of %d", len(final), len(opts[0].Products))
+	}
+}

@@ -1,0 +1,38 @@
+package navigation
+
+import "testing"
+
+func TestRewriteStudyNavigationHelps(t *testing.T) {
+	cat, nav := navWorld(t)
+	study := NewRewriteStudy(cat, nav)
+	res := study.Run(9, 2000, 5)
+	t.Logf("rewrites: control=%.2f treatment=%.2f | satisfied: control=%.2f treatment=%.2f",
+		res.ControlRewrites, res.TreatmentRewrites, res.ControlSatisfied, res.TreatSatisfied)
+	if res.TreatSatisfied < res.ControlSatisfied {
+		t.Errorf("navigation should not reduce satisfaction: %.3f vs %.3f",
+			res.TreatSatisfied, res.ControlSatisfied)
+	}
+	// Navigation-guided refinement must not need more rewrites than
+	// manual guessing (the future-work hypothesis of §4.2.4).
+	if res.TreatmentRewrites > res.ControlRewrites {
+		t.Errorf("navigation should reduce rewrites: %.3f vs %.3f",
+			res.TreatmentRewrites, res.ControlRewrites)
+	}
+}
+
+func TestRewriteStudyDeterministic(t *testing.T) {
+	cat, nav := navWorld(t)
+	s1 := NewRewriteStudy(cat, nav).Run(3, 300, 5)
+	s2 := NewRewriteStudy(cat, nav).Run(3, 300, 5)
+	if s1 != s2 {
+		t.Fatalf("study not deterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestRewriteStudyZeroTurns(t *testing.T) {
+	cat, nav := navWorld(t)
+	res := NewRewriteStudy(cat, nav).Run(3, 100, 0)
+	if res.ControlSatisfied != 0 || res.TreatSatisfied != 0 {
+		t.Error("zero turns cannot satisfy anyone")
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import "math/rand"
+
+// Linear is a dense layer y = Wx + b.
+type Linear struct {
+	W *Param
+	B *Param
+}
+
+// NewLinear builds a dense layer and registers its parameters.
+func NewLinear(set *Set, name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W: NewParam(name+".W", out, in).Init(rng),
+		B: NewParam(name+".b", out, 1),
+	}
+	set.Add(l.W, l.B)
+	return l
+}
+
+// Forward applies the layer.
+func (l *Linear) Forward(t *Tape, x *Vec) *Vec {
+	return t.Add(t.MatVec(l.W, x), t.Use(l.B))
+}
+
+// MLP is a two-layer perceptron with ReLU.
+type MLP struct {
+	L1, L2 *Linear
+}
+
+// NewMLP builds a 2-layer MLP.
+func NewMLP(set *Set, name string, in, hidden, out int, rng *rand.Rand) *MLP {
+	return &MLP{
+		L1: NewLinear(set, name+".1", in, hidden, rng),
+		L2: NewLinear(set, name+".2", hidden, out, rng),
+	}
+}
+
+// Forward applies the MLP.
+func (m *MLP) Forward(t *Tape, x *Vec) *Vec {
+	return m.L2.Forward(t, t.ReLU(m.L1.Forward(t, x)))
+}
+
+// GRUCell is a gated recurrent unit.
+type GRUCell struct {
+	Wr, Ur, Wz, Uz, Wh, Uh *Param
+	Br, Bz, Bh             *Param
+	Hidden                 int
+}
+
+// NewGRUCell builds a GRU cell and registers its parameters.
+func NewGRUCell(set *Set, name string, input, hidden int, rng *rand.Rand) *GRUCell {
+	c := &GRUCell{
+		Wr:     NewParam(name+".Wr", hidden, input).Init(rng),
+		Ur:     NewParam(name+".Ur", hidden, hidden).Init(rng),
+		Wz:     NewParam(name+".Wz", hidden, input).Init(rng),
+		Uz:     NewParam(name+".Uz", hidden, hidden).Init(rng),
+		Wh:     NewParam(name+".Wh", hidden, input).Init(rng),
+		Uh:     NewParam(name+".Uh", hidden, hidden).Init(rng),
+		Br:     NewParam(name+".br", hidden, 1),
+		Bz:     NewParam(name+".bz", hidden, 1),
+		Bh:     NewParam(name+".bh", hidden, 1),
+		Hidden: hidden,
+	}
+	set.Add(c.Wr, c.Ur, c.Wz, c.Uz, c.Wh, c.Uh, c.Br, c.Bz, c.Bh)
+	return c
+}
+
+// Step computes the next hidden state from input x and previous h.
+func (c *GRUCell) Step(t *Tape, x, h *Vec) *Vec {
+	r := t.Sigmoid(t.Add(t.Add(t.MatVec(c.Wr, x), t.MatVec(c.Ur, h)), t.Use(c.Br)))
+	z := t.Sigmoid(t.Add(t.Add(t.MatVec(c.Wz, x), t.MatVec(c.Uz, h)), t.Use(c.Bz)))
+	hTilde := t.Tanh(t.Add(t.Add(t.MatVec(c.Wh, x), t.MatVec(c.Uh, t.Mul(r, h))), t.Use(c.Bh)))
+	// h' = (1-z)⊙h + z⊙h~  = h + z⊙(h~ - h)
+	return t.Add(h, t.Mul(z, t.Sub(hTilde, h)))
+}
+
+// Zero returns a zero hidden state on the tape.
+func (c *GRUCell) Zero(t *Tape) *Vec {
+	return t.Const(make([]float64, c.Hidden))
+}
+
+// Attention is additive attention: score_i = v·tanh(Wq q + Wk k_i + b).
+type Attention struct {
+	Wq, Wk, B, V *Param
+}
+
+// NewAttention builds an additive attention module.
+func NewAttention(set *Set, name string, dim, hidden int, rng *rand.Rand) *Attention {
+	a := &Attention{
+		Wq: NewParam(name+".Wq", hidden, dim).Init(rng),
+		Wk: NewParam(name+".Wk", hidden, dim).Init(rng),
+		B:  NewParam(name+".b", hidden, 1),
+		V:  NewParam(name+".v", 1, hidden).Init(rng),
+	}
+	set.Add(a.Wq, a.Wk, a.B, a.V)
+	return a
+}
+
+// Pool attends query q over keys and returns the weighted sum of keys.
+func (a *Attention) Pool(t *Tape, q *Vec, keys []*Vec) *Vec {
+	qProj := t.MatVec(a.Wq, q)
+	scores := make([]*Vec, len(keys))
+	for i, k := range keys {
+		h := t.Tanh(t.Add(t.Add(qProj, t.MatVec(a.Wk, k)), t.Use(a.B)))
+		scores[i] = t.MatVec(a.V, h)
+	}
+	logits := t.Concat(scores...)
+	weights := t.Softmax(logits)
+	return t.WeightedSum(weights, keys)
+}
+
+// GraphConv is one propagation layer over a session graph: each node
+// aggregates mean(in-neighbors) and mean(out-neighbors), then mixes with
+// its own state through a linear layer (an SR-GNN-style gated
+// propagation simplified to a single gate).
+type GraphConv struct {
+	Win, Wout, Wself *Param
+	B                *Param
+}
+
+// NewGraphConv builds a propagation layer for node dimension dim.
+func NewGraphConv(set *Set, name string, dim int, rng *rand.Rand) *GraphConv {
+	g := &GraphConv{
+		Win:   NewParam(name+".Win", dim, dim).Init(rng),
+		Wout:  NewParam(name+".Wout", dim, dim).Init(rng),
+		Wself: NewParam(name+".Wself", dim, dim).Init(rng),
+		B:     NewParam(name+".b", dim, 1),
+	}
+	set.Add(g.Win, g.Wout, g.Wself, g.B)
+	return g
+}
+
+// Propagate updates node states given in/out adjacency lists
+// (inAdj[i] lists node indices with an edge into i).
+func (g *GraphConv) Propagate(t *Tape, states []*Vec, inAdj, outAdj [][]int) []*Vec {
+	out := make([]*Vec, len(states))
+	for i := range states {
+		agg := t.MatVec(g.Wself, states[i])
+		if len(inAdj[i]) > 0 {
+			ns := make([]*Vec, len(inAdj[i]))
+			for j, n := range inAdj[i] {
+				ns[j] = states[n]
+			}
+			agg = t.Add(agg, t.MatVec(g.Win, t.Mean(ns)))
+		}
+		if len(outAdj[i]) > 0 {
+			ns := make([]*Vec, len(outAdj[i]))
+			for j, n := range outAdj[i] {
+				ns[j] = states[n]
+			}
+			agg = t.Add(agg, t.MatVec(g.Wout, t.Mean(ns)))
+		}
+		// Residual connection: the gated-update GNNs this layer stands in
+		// for preserve node identity across propagation steps.
+		out[i] = t.Add(states[i], t.Tanh(t.Add(agg, t.Use(g.B))))
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+// Package nn is a minimal neural-network library (reverse-mode autograd
+// over vectors) powering the reproduction's downstream models: the
+// bi-/cross-encoders of the search-relevance experiment and the
+// sequential / attention / graph models of the session-based
+// recommendation experiment. Stdlib only, deterministic given a seed.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable tensor, stored flat row-major.
+type Param struct {
+	Name string
+	Rows int
+	Cols int
+	V    []float64
+	G    []float64
+}
+
+// NewParam allocates a zero parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name, Rows: rows, Cols: cols,
+		V: make([]float64, rows*cols),
+		G: make([]float64, rows*cols),
+	}
+}
+
+// Init fills the parameter with Glorot-uniform noise.
+func (p *Param) Init(rng *rand.Rand) *Param {
+	limit := math.Sqrt(6.0 / float64(p.Rows+p.Cols))
+	for i := range p.V {
+		p.V[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return p
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Row returns row r of the parameter (a view, not a copy).
+func (p *Param) Row(r int) []float64 { return p.V[r*p.Cols : (r+1)*p.Cols] }
+
+// RowGrad returns the gradient slice of row r.
+func (p *Param) RowGrad(r int) []float64 { return p.G[r*p.Cols : (r+1)*p.Cols] }
+
+// Set collects parameters for an optimizer.
+type Set struct {
+	params []*Param
+}
+
+// Add registers parameters and returns the last one (for chaining).
+func (s *Set) Add(ps ...*Param) *Param {
+	s.params = append(s.params, ps...)
+	return ps[len(ps)-1]
+}
+
+// All returns the registered parameters.
+func (s *Set) All() []*Param { return s.params }
+
+// ZeroGrad clears every gradient.
+func (s *Set) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (s *Set) NumParams() int {
+	n := 0
+	for _, p := range s.params {
+		n += len(p.V)
+	}
+	return n
+}
+
+// Tape records the computation for reverse-mode differentiation.
+type Tape struct {
+	backward []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Vec is a node in the computation graph.
+type Vec struct {
+	V []float64
+	G []float64
+	t *Tape
+}
+
+// Len returns the vector length.
+func (v *Vec) Len() int { return len(v.V) }
+
+func (t *Tape) node(n int) *Vec {
+	return &Vec{V: make([]float64, n), G: make([]float64, n), t: t}
+}
+
+// Const wraps a constant (no gradient flows into vals).
+func (t *Tape) Const(vals []float64) *Vec {
+	v := t.node(len(vals))
+	copy(v.V, vals)
+	return v
+}
+
+// Use wraps a parameter vector node: gradients flow into p.G. The
+// parameter must have Cols == 1 or represent a flat vector.
+func (t *Tape) Use(p *Param) *Vec {
+	v := t.node(len(p.V))
+	copy(v.V, p.V)
+	t.backward = append(t.backward, func() {
+		for i := range v.G {
+			p.G[i] += v.G[i]
+		}
+	})
+	return v
+}
+
+// UseRow wraps one row of an embedding-table parameter.
+func (t *Tape) UseRow(p *Param, r int) *Vec {
+	v := t.node(p.Cols)
+	copy(v.V, p.Row(r))
+	g := p.RowGrad(r)
+	t.backward = append(t.backward, func() {
+		for i := range v.G {
+			g[i] += v.G[i]
+		}
+	})
+	return v
+}
+
+// MatVec computes W*x where W is (Rows x Cols) and x has length Cols.
+func (t *Tape) MatVec(w *Param, x *Vec) *Vec {
+	if w.Cols != x.Len() {
+		panic(fmt.Sprintf("nn: MatVec %s dims %dx%d vs input %d", w.Name, w.Rows, w.Cols, x.Len()))
+	}
+	out := t.node(w.Rows)
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		s := 0.0
+		for c, xv := range x.V {
+			s += row[c] * xv
+		}
+		out.V[r] = s
+	}
+	t.backward = append(t.backward, func() {
+		for r := 0; r < w.Rows; r++ {
+			og := out.G[r]
+			if og == 0 {
+				continue
+			}
+			row := w.Row(r)
+			grow := w.RowGrad(r)
+			for c := 0; c < w.Cols; c++ {
+				grow[c] += og * x.V[c]
+				x.G[c] += og * row[c]
+			}
+		}
+	})
+	return out
+}
+
+// Add returns a+b (element-wise).
+func (t *Tape) Add(a, b *Vec) *Vec {
+	out := t.node(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] + b.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Sub returns a-b.
+func (t *Tape) Sub(a, b *Vec) *Vec {
+	out := t.node(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] - b.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] -= out.G[i]
+		}
+	})
+	return out
+}
+
+// Mul returns a⊙b (element-wise product).
+func (t *Tape) Mul(a, b *Vec) *Vec {
+	out := t.node(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] * b.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * b.V[i]
+			b.G[i] += out.G[i] * a.V[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s*a for a constant scalar s.
+func (t *Tape) Scale(a *Vec, s float64) *Vec {
+	out := t.node(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] * s
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * s
+		}
+	})
+	return out
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Vec) *Vec {
+	out := t.node(a.Len())
+	for i, v := range a.V {
+		out.V[i] = 1 / (1 + math.Exp(-v))
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * out.V[i] * (1 - out.V[i])
+		}
+	})
+	return out
+}
+
+// Tanh applies tanh element-wise.
+func (t *Tape) Tanh(a *Vec) *Vec {
+	out := t.node(a.Len())
+	for i, v := range a.V {
+		out.V[i] = math.Tanh(v)
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * (1 - out.V[i]*out.V[i])
+		}
+	})
+	return out
+}
+
+// ReLU applies max(0,x) element-wise.
+func (t *Tape) ReLU(a *Vec) *Vec {
+	out := t.node(a.Len())
+	for i, v := range a.V {
+		if v > 0 {
+			out.V[i] = v
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			if a.V[i] > 0 {
+				a.G[i] += out.G[i]
+			}
+		}
+	})
+	return out
+}
+
+// Concat concatenates the inputs.
+func (t *Tape) Concat(vs ...*Vec) *Vec {
+	n := 0
+	for _, v := range vs {
+		n += v.Len()
+	}
+	out := t.node(n)
+	off := 0
+	for _, v := range vs {
+		copy(out.V[off:], v.V)
+		off += v.Len()
+	}
+	t.backward = append(t.backward, func() {
+		off := 0
+		for _, v := range vs {
+			for i := range v.G {
+				v.G[i] += out.G[off+i]
+			}
+			off += v.Len()
+		}
+	})
+	return out
+}
+
+// Dot returns the scalar dot product as a length-1 vector.
+func (t *Tape) Dot(a, b *Vec) *Vec {
+	out := t.node(1)
+	s := 0.0
+	for i := range a.V {
+		s += a.V[i] * b.V[i]
+	}
+	out.V[0] = s
+	t.backward = append(t.backward, func() {
+		g := out.G[0]
+		for i := range a.V {
+			a.G[i] += g * b.V[i]
+			b.G[i] += g * a.V[i]
+		}
+	})
+	return out
+}
+
+// Mean averages a list of equal-length vectors.
+func (t *Tape) Mean(vs []*Vec) *Vec {
+	out := t.node(vs[0].Len())
+	inv := 1.0 / float64(len(vs))
+	for _, v := range vs {
+		for i := range out.V {
+			out.V[i] += v.V[i] * inv
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for _, v := range vs {
+			for i := range v.G {
+				v.G[i] += out.G[i] * inv
+			}
+		}
+	})
+	return out
+}
+
+// WeightedSum computes Σ w_i · v_i where ws is a vector of len(vs)
+// scalar weights (attention pooling).
+func (t *Tape) WeightedSum(ws *Vec, vs []*Vec) *Vec {
+	out := t.node(vs[0].Len())
+	for j, v := range vs {
+		for i := range out.V {
+			out.V[i] += ws.V[j] * v.V[i]
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for j, v := range vs {
+			for i := range out.G {
+				v.G[i] += out.G[i] * ws.V[j]
+				ws.G[j] += out.G[i] * v.V[i]
+			}
+		}
+	})
+	return out
+}
+
+// Softmax returns the softmax of a (stable).
+func (t *Tape) Softmax(a *Vec) *Vec {
+	out := t.node(a.Len())
+	max := math.Inf(-1)
+	for _, v := range a.V {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range a.V {
+		out.V[i] = math.Exp(v - max)
+		sum += out.V[i]
+	}
+	for i := range out.V {
+		out.V[i] /= sum
+	}
+	t.backward = append(t.backward, func() {
+		// dL/da_i = y_i * (g_i - Σ_j g_j y_j)
+		dot := 0.0
+		for j := range out.V {
+			dot += out.G[j] * out.V[j]
+		}
+		for i := range a.G {
+			a.G[i] += out.V[i] * (out.G[i] - dot)
+		}
+	})
+	return out
+}
+
+// CrossEntropy returns -log softmax(logits)[label] as a length-1 vector.
+func (t *Tape) CrossEntropy(logits *Vec, label int) *Vec {
+	probs := t.Softmax(logits)
+	out := t.node(1)
+	p := probs.V[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	out.V[0] = -math.Log(p)
+	t.backward = append(t.backward, func() {
+		g := out.G[0]
+		probs.G[label] += -g / p
+	})
+	return out
+}
+
+// Backward seeds the gradient of loss (length-1) and runs the tape in
+// reverse.
+func (t *Tape) Backward(loss *Vec) {
+	loss.G[0] = 1
+	for i := len(t.backward) - 1; i >= 0; i-- {
+		t.backward[i]()
+	}
+}

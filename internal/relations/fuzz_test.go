@@ -1,0 +1,30 @@
+package relations
+
+import "testing"
+
+func FuzzParseGeneration(f *testing.F) {
+	for _, r := range All() {
+		info, _ := Lookup(r)
+		f.Add(Verbalize(r, info.Example))
+	}
+	f.Add("")
+	f.Add("random text with no predicate")
+	f.Add("used for")
+	f.Fuzz(func(t *testing.T, s string) {
+		rel, tail, ok := ParseGeneration(s)
+		if !ok {
+			if rel != "" || tail != "" {
+				t.Fatal("failed parse must return zero values")
+			}
+			return
+		}
+		if tail == "" {
+			t.Fatal("successful parse with empty tail")
+		}
+		if !Valid(rel) {
+			t.Fatalf("parsed unknown relation %q", rel)
+		}
+		// Classifying the tail never panics and yields a known tail type.
+		_ = ClassifyTail(tail)
+	})
+}

@@ -1,0 +1,28 @@
+package relevance
+
+import "cosmo/internal/metrics"
+
+// DetailedResult carries the full evaluation breakdown for one model:
+// overall Macro/Micro F1 plus per-class F1, matching how ESCI systems
+// are analyzed (the Irrelevant and Complement classes are the minority
+// classes Macro F1 protects).
+type DetailedResult struct {
+	MacroF1    float64
+	MicroF1    float64
+	PerClassF1 [NumClasses]float64
+	Confusion  *metrics.Confusion
+}
+
+// EvaluateDetailed computes the full breakdown over the test set.
+func (m *Model) EvaluateDetailed(test []Example) DetailedResult {
+	conf := metrics.NewConfusion(int(NumClasses))
+	for _, ex := range test {
+		conf.Add(int(ex.Label), int(m.Predict(ex)))
+	}
+	var out DetailedResult
+	out.MacroF1 = conf.MacroF1()
+	out.MicroF1 = conf.MicroF1()
+	copy(out.PerClassF1[:], conf.PerClassF1())
+	out.Confusion = conf
+	return out
+}

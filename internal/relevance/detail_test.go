@@ -1,0 +1,37 @@
+package relevance
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateDetailedConsistent(t *testing.T) {
+	cat := world()
+	g := NewGenerator(cat, OracleKnowledge(cat))
+	ds := g.Generate(Locale{Name: "d", TrainPairs: 1200, TestPairs: 400, Seed: 3})
+	m := NewModel(DefaultModelConfig(CrossEncoderIntent, false))
+	m.Train(ds.Train)
+
+	macro, micro := m.Evaluate(ds.Test)
+	det := m.EvaluateDetailed(ds.Test)
+	if math.Abs(det.MacroF1-macro) > 1e-12 || math.Abs(det.MicroF1-micro) > 1e-12 {
+		t.Fatalf("detailed (%v,%v) disagrees with Evaluate (%v,%v)",
+			det.MacroF1, det.MicroF1, macro, micro)
+	}
+	// Per-class F1 must average to macro.
+	sum := 0.0
+	for _, f := range det.PerClassF1 {
+		sum += f
+	}
+	if math.Abs(sum/float64(NumClasses)-macro) > 1e-12 {
+		t.Errorf("per-class mean %v != macro %v", sum/float64(NumClasses), macro)
+	}
+	if det.Confusion.Total() != len(ds.Test) {
+		t.Errorf("confusion total %d != %d", det.Confusion.Total(), len(ds.Test))
+	}
+	// The Exact class dominates the data, so its F1 should be the best
+	// or near-best of the classes for a trained model.
+	if det.PerClassF1[Exact] < 0.5 {
+		t.Errorf("Exact-class F1 %v suspiciously low", det.PerClassF1[Exact])
+	}
+}

@@ -1,0 +1,18 @@
+package relevance
+
+import "strings"
+
+// Small string helpers kept separate so dataset.go reads cleanly.
+
+func lower(s string) string { return strings.ToLower(s) }
+
+func index(s, sub string) int { return strings.Index(s, sub) }
+
+func firstWord(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func joinSpans(spans []string) string { return strings.Join(spans, "; ") }

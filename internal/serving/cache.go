@@ -1,0 +1,167 @@
+package serving
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats reports cache behavior.
+type CacheStats struct {
+	Hits        int
+	Misses      int
+	YearlyHits  int
+	DailyHits   int
+	Evictions   int
+	DailySize   int
+	YearlySize  int
+	BatchQueued int
+}
+
+// HitRate returns hits / (hits + misses).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// AsyncCache is the two-layer asynchronous cache store of §3.5.1:
+//
+//   - Layer 1 holds pre-loaded yearly frequent searches (immutable
+//     between refreshes).
+//   - Layer 2 is an LRU over batch-processed daily requests, adapting to
+//     daily traffic patterns.
+//
+// Misses are queued for asynchronous batch processing rather than
+// computed inline, which is what keeps serving latency flat.
+type AsyncCache struct {
+	mu     sync.Mutex
+	yearly map[string]Feature
+	daily  map[string]*list.Element
+	lru    *list.List
+	cap    int
+	stats  CacheStats
+	queue  []string
+	queued map[string]bool
+}
+
+type dailyEntry struct {
+	key string
+	f   Feature
+}
+
+// NewAsyncCache builds a cache whose daily layer holds up to dailyCap
+// entries.
+func NewAsyncCache(dailyCap int) *AsyncCache {
+	if dailyCap < 1 {
+		dailyCap = 1
+	}
+	return &AsyncCache{
+		yearly: map[string]Feature{},
+		daily:  map[string]*list.Element{},
+		lru:    list.New(),
+		cap:    dailyCap,
+		queued: map[string]bool{},
+	}
+}
+
+// PreloadYearly installs the yearly frequent-search layer.
+func (c *AsyncCache) PreloadYearly(features []Feature) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range features {
+		c.yearly[f.Query] = f
+	}
+}
+
+// Lookup serves a query: yearly layer first, then daily LRU. On a miss
+// the query is queued for batch processing and (nil, false) returns
+// immediately — the caller degrades gracefully rather than blocking on
+// model inference.
+func (c *AsyncCache) Lookup(query string) (Feature, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.yearly[query]; ok {
+		c.stats.Hits++
+		c.stats.YearlyHits++
+		return f, true
+	}
+	if el, ok := c.daily[query]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.DailyHits++
+		return el.Value.(dailyEntry).f, true
+	}
+	c.stats.Misses++
+	if !c.queued[query] {
+		c.queued[query] = true
+		c.queue = append(c.queue, query)
+	}
+	return Feature{}, false
+}
+
+// InstallDaily inserts a batch-processed feature into the daily layer,
+// evicting the least recently used entry when full.
+func (c *AsyncCache) InstallDaily(f Feature) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.queued, f.Query)
+	if el, ok := c.daily[f.Query]; ok {
+		el.Value = dailyEntry{f.Query, f}
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		if back != nil {
+			c.lru.Remove(back)
+			delete(c.daily, back.Value.(dailyEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.daily[f.Query] = c.lru.PushFront(dailyEntry{f.Query, f})
+}
+
+// DrainQueue removes and returns up to n queued queries for the batch
+// processor.
+func (c *AsyncCache) DrainQueue(n int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > len(c.queue) {
+		n = len(c.queue)
+	}
+	out := make([]string, n)
+	copy(out, c.queue[:n])
+	c.queue = c.queue[n:]
+	return out
+}
+
+// ResetDaily clears the daily layer (the daily refresh boundary).
+func (c *AsyncCache) ResetDaily() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.daily = map[string]*list.Element{}
+	c.lru = list.New()
+}
+
+// ReplaceYearly swaps in a new yearly layer (the yearly refresh).
+func (c *AsyncCache) ReplaceYearly(features []Feature) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.yearly = map[string]Feature{}
+	for _, f := range features {
+		c.yearly[f.Query] = f
+	}
+}
+
+// Stats snapshots cache statistics.
+func (c *AsyncCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.DailySize = c.lru.Len()
+	s.YearlySize = len(c.yearly)
+	s.BatchQueued = len(c.queue)
+	return s
+}

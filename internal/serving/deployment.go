@@ -1,0 +1,197 @@
+package serving
+
+import (
+	"sort"
+	"sync"
+)
+
+// Responder runs model inference for one query — the expensive path that
+// the cache architecture keeps off the request critical path. COSMO-LM
+// is adapted to this interface by the caller (see cmd/cosmo-serve).
+type Responder interface {
+	Respond(query string) Feature
+}
+
+// ResponderFunc adapts a function to the Responder interface.
+type ResponderFunc func(query string) Feature
+
+// Respond calls f.
+func (f ResponderFunc) Respond(query string) Feature { return f(query) }
+
+// Simulated serving latencies (ms); the cached path is the latency the
+// deployment must meet ("Amazon's restricted search latency
+// requirements"), the model path is why inline inference is infeasible.
+const (
+	CacheHitLatencyMs  = 2.0
+	CacheMissLatencyMs = 3.0 // lookup + enqueue; response degrades, never blocks
+)
+
+// Deployment wires the cache store, feature store, responder and refresh
+// loop together (Figure 5's operational flow).
+type Deployment struct {
+	Cache *AsyncCache
+	Store *FeatureStore
+	// Clock stamps features; swap in a FakeClock for tests.
+	Clock Clock
+
+	mu        sync.Mutex
+	responder Responder
+	version   int
+	latencies []float64
+	// interactions is the feedback loop: query -> interaction count,
+	// feeding the next refresh's frequent-search selection.
+	interactions map[string]int
+}
+
+// DeployConfig configures a deployment.
+type DeployConfig struct {
+	DailyCacheCap int
+}
+
+// NewDeployment builds a deployment around the initial model.
+func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
+	if cfg.DailyCacheCap <= 0 {
+		cfg.DailyCacheCap = 1024
+	}
+	return &Deployment{
+		Cache:        NewAsyncCache(cfg.DailyCacheCap),
+		Store:        NewFeatureStore(),
+		Clock:        RealClock{},
+		responder:    responder,
+		version:      1,
+		interactions: map[string]int{},
+	}
+}
+
+// Version returns the current model version.
+func (d *Deployment) Version() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// HandleQuery is the request path: check the async cache, return
+// structured features on a hit; on a miss the query is queued for batch
+// processing and the caller proceeds without intent features.
+func (d *Deployment) HandleQuery(query string) (Feature, bool) {
+	f, ok := d.Cache.Lookup(query)
+	d.mu.Lock()
+	if ok {
+		d.latencies = append(d.latencies, CacheHitLatencyMs)
+	} else {
+		d.latencies = append(d.latencies, CacheMissLatencyMs)
+	}
+	d.interactions[query]++
+	d.mu.Unlock()
+	return f, ok
+}
+
+// RunBatch drains up to n queued queries, runs model inference for each,
+// writes features to the feature store and installs them in the daily
+// cache layer ("Batch Processing and Cache Update"). It returns the
+// number processed.
+func (d *Deployment) RunBatch(n int) int {
+	queries := d.Cache.DrainQueue(n)
+	d.mu.Lock()
+	responder := d.responder
+	version := d.version
+	d.mu.Unlock()
+	for _, q := range queries {
+		f := responder.Respond(q)
+		f.Query = q
+		f.Version = version
+		f.CreatedAt = d.Clock.Now()
+		d.Store.Put(f)
+		d.Cache.InstallDaily(f)
+	}
+	return len(queries)
+}
+
+// DailyRefresh swaps in a refreshed model ("Model Deployment: dynamic
+// ingestion of customer behavior session logs and efficient model
+// updates"), clears the daily cache layer, and rebuilds the yearly layer
+// from the most-interacted queries of the feedback loop.
+func (d *Deployment) DailyRefresh(responder Responder, yearlyTop int) {
+	d.mu.Lock()
+	d.responder = responder
+	d.version++
+	version := d.version
+	type qc struct {
+		q string
+		c int
+	}
+	var counts []qc
+	for q, c := range d.interactions {
+		counts = append(counts, qc{q, c})
+	}
+	d.mu.Unlock()
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].c != counts[j].c {
+			return counts[i].c > counts[j].c
+		}
+		return counts[i].q < counts[j].q
+	})
+	if yearlyTop > len(counts) {
+		yearlyTop = len(counts)
+	}
+	features := make([]Feature, 0, yearlyTop)
+	for _, e := range counts[:yearlyTop] {
+		f := responder.Respond(e.q)
+		f.Query = e.q
+		f.Version = version
+		f.CreatedAt = d.Clock.Now()
+		d.Store.Put(f)
+		features = append(features, f)
+	}
+	d.Cache.ReplaceYearly(features)
+	d.Cache.ResetDaily()
+}
+
+// LatencyPercentiles returns the p50 and p99 of observed request
+// latencies (ms).
+func (d *Deployment) LatencyPercentiles() (p50, p99 float64) {
+	d.mu.Lock()
+	ls := make([]float64, len(d.latencies))
+	copy(ls, d.latencies)
+	d.mu.Unlock()
+	if len(ls) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(ls)
+	idx := func(p float64) float64 {
+		i := int(p * float64(len(ls)))
+		if i >= len(ls) {
+			i = len(ls) - 1
+		}
+		return ls[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// TopInteractions returns the feedback loop's most frequent queries.
+func (d *Deployment) TopInteractions(n int) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	type qc struct {
+		q string
+		c int
+	}
+	var counts []qc
+	for q, c := range d.interactions {
+		counts = append(counts, qc{q, c})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].c != counts[j].c {
+			return counts[i].c > counts[j].c
+		}
+		return counts[i].q < counts[j].q
+	})
+	if n > len(counts) {
+		n = len(counts)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = counts[i].q
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package serving implements the COSMO online deployment of §3.5 and
+// Figure 5: the feature store that converts model responses into
+// structured features for downstream applications, the asynchronous
+// two-layer cache store (pre-loaded yearly frequent searches plus
+// batch-processed daily requests), the batch processor, the daily model
+// refresh loop, and request handling that meets the latency budget by
+// serving cached features for the bulk of traffic.
+package serving
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Feature staleness is measured against the deployment's Clock so tests
+// can drive time deterministically with FakeClock.
+
+// Feature is the structured, serving-ready form of a COSMO-LM response:
+// product key-value pairs, semantic sub-category representation, and the
+// strong-intent flag (§3.5.1 "Feature Store Integration").
+type Feature struct {
+	Query string
+	// Intents are the generated knowledge strings, best first.
+	Intents []string
+	// Relations are the relation types aligned with Intents.
+	Relations []string
+	// SubCategory is the semantic sub-category representation (the top
+	// intent's tail).
+	SubCategory string
+	// StrongIntent marks a high-confidence intent detection.
+	StrongIntent bool
+	// Version is the model refresh version that produced the feature.
+	Version int
+	// CreatedAt is when the feature was materialized; consumers use it
+	// to reason about staleness (see the flash-sale experiment).
+	CreatedAt time.Time
+}
+
+// FeatureStore stores structured features keyed by query; safe for
+// concurrent use.
+type FeatureStore struct {
+	mu       sync.RWMutex
+	features map[string]Feature
+}
+
+// NewFeatureStore returns an empty store.
+func NewFeatureStore() *FeatureStore {
+	return &FeatureStore{features: map[string]Feature{}}
+}
+
+// Put inserts or replaces the feature for a query.
+func (s *FeatureStore) Put(f Feature) {
+	s.mu.Lock()
+	s.features[f.Query] = f
+	s.mu.Unlock()
+}
+
+// Get fetches the feature for a query.
+func (s *FeatureStore) Get(query string) (Feature, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.features[query]
+	return f, ok
+}
+
+// Len returns the number of stored features.
+func (s *FeatureStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.features)
+}
+
+// Queries returns the stored query keys, sorted.
+func (s *FeatureStore) Queries() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	qs := make([]string, 0, len(s.features))
+	for q := range s.features {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	return qs
+}
+
+// DropVersionsBefore removes features older than version v (used by the
+// daily refresh to retire stale entries).
+func (s *FeatureStore) DropVersionsBefore(v int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for q, f := range s.features {
+		if f.Version < v {
+			delete(s.features, q)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Clock abstracts time for deterministic tests.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock uses the wall clock.
+type RealClock struct{}
+
+// Now returns the current wall time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts at the given time.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

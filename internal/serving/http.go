@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// NewHTTPHandler exposes a deployment over HTTP:
+//
+//	GET /intent?q=<query>  -> structured intent feature (200) or 202 when
+//	                          queued for batch processing
+//	GET /stats             -> cache and latency statistics (JSON)
+//	GET /metrics           -> Prometheus-style plaintext metrics
+//	GET /healthz           -> liveness
+func NewHTTPHandler(d *Deployment) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/intent", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		f, ok := d.HandleQuery(q)
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusAccepted)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"status": "queued",
+				"query":  q,
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(f)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		p50, p99 := d.LatencyPercentiles()
+		stats := d.Cache.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"cache":      stats,
+			"hit_rate":   stats.HitRate(),
+			"latency_ms": map[string]float64{"p50": p50, "p99": p99},
+			"version":    d.Version(),
+			"features":   d.Store.Len(),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		p50, p99 := d.LatencyPercentiles()
+		stats := d.Cache.Stats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "cosmo_cache_hits_total %d\n", stats.Hits)
+		fmt.Fprintf(w, "cosmo_cache_misses_total %d\n", stats.Misses)
+		fmt.Fprintf(w, "cosmo_cache_yearly_hits_total %d\n", stats.YearlyHits)
+		fmt.Fprintf(w, "cosmo_cache_daily_hits_total %d\n", stats.DailyHits)
+		fmt.Fprintf(w, "cosmo_cache_evictions_total %d\n", stats.Evictions)
+		fmt.Fprintf(w, "cosmo_cache_daily_size %d\n", stats.DailySize)
+		fmt.Fprintf(w, "cosmo_cache_yearly_size %d\n", stats.YearlySize)
+		fmt.Fprintf(w, "cosmo_batch_queue_depth %d\n", stats.BatchQueued)
+		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.5\"} %g\n", p50)
+		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.99\"} %g\n", p99)
+		fmt.Fprintf(w, "cosmo_model_version %d\n", d.Version())
+		fmt.Fprintf(w, "cosmo_feature_store_size %d\n", d.Store.Len())
+	})
+	return mux
+}

@@ -1,0 +1,338 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoResponder fabricates a deterministic feature for any query.
+func echoResponder(version string) Responder {
+	return ResponderFunc(func(q string) Feature {
+		return Feature{
+			Query:        q,
+			Intents:      []string{"used for " + q, version},
+			Relations:    []string{"USED_FOR_FUNC"},
+			SubCategory:  q,
+			StrongIntent: true,
+		}
+	})
+}
+
+func TestFeatureStoreBasics(t *testing.T) {
+	s := NewFeatureStore()
+	s.Put(Feature{Query: "camping", Version: 1})
+	s.Put(Feature{Query: "hiking", Version: 2})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	f, ok := s.Get("camping")
+	if !ok || f.Version != 1 {
+		t.Fatalf("get = %+v %v", f, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("missing key should miss")
+	}
+	if qs := s.Queries(); len(qs) != 2 || qs[0] != "camping" {
+		t.Errorf("queries = %v", qs)
+	}
+	if dropped := s.DropVersionsBefore(2); dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len after drop = %d", s.Len())
+	}
+}
+
+func TestAsyncCacheTwoLayers(t *testing.T) {
+	c := NewAsyncCache(2)
+	c.PreloadYearly([]Feature{{Query: "yearly-hot"}})
+	if _, ok := c.Lookup("yearly-hot"); !ok {
+		t.Fatal("yearly layer miss")
+	}
+	// Miss queues for batch.
+	if _, ok := c.Lookup("fresh"); ok {
+		t.Fatal("unexpected hit")
+	}
+	queued := c.DrainQueue(10)
+	if len(queued) != 1 || queued[0] != "fresh" {
+		t.Fatalf("queue = %v", queued)
+	}
+	c.InstallDaily(Feature{Query: "fresh"})
+	if _, ok := c.Lookup("fresh"); !ok {
+		t.Fatal("daily layer miss after install")
+	}
+	stats := c.Stats()
+	if stats.YearlyHits != 1 || stats.DailyHits != 1 || stats.Misses != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestAsyncCacheLRUEviction(t *testing.T) {
+	c := NewAsyncCache(2)
+	c.InstallDaily(Feature{Query: "a"})
+	c.InstallDaily(Feature{Query: "b"})
+	c.Lookup("a") // refresh a
+	c.InstallDaily(Feature{Query: "c"})
+	if _, ok := c.Lookup("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Lookup("a"); !ok {
+		t.Error("a should survive")
+	}
+	if _, ok := c.Lookup("c"); !ok {
+		t.Error("c should be present")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestAsyncCacheMissQueuesOnce(t *testing.T) {
+	c := NewAsyncCache(4)
+	for i := 0; i < 5; i++ {
+		c.Lookup("same")
+	}
+	if q := c.DrainQueue(10); len(q) != 1 {
+		t.Errorf("queued %d copies", len(q))
+	}
+}
+
+func TestDeploymentRequestFlow(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 64}, echoResponder("v1"))
+	// Cold query: miss, queued.
+	if _, ok := d.HandleQuery("camping"); ok {
+		t.Fatal("cold query should miss")
+	}
+	// Batch processing installs the feature.
+	if n := d.RunBatch(10); n != 1 {
+		t.Fatalf("batch processed %d", n)
+	}
+	f, ok := d.HandleQuery("camping")
+	if !ok {
+		t.Fatal("warm query should hit")
+	}
+	if f.Version != 1 || len(f.Intents) == 0 {
+		t.Errorf("feature = %+v", f)
+	}
+	if got := d.Store.Len(); got != 1 {
+		t.Errorf("feature store len = %d", got)
+	}
+}
+
+func TestDailyRefreshRotatesModelAndCaches(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 64}, echoResponder("v1"))
+	// Generate traffic so the feedback loop knows what is frequent.
+	for i := 0; i < 10; i++ {
+		d.HandleQuery("hot")
+	}
+	d.HandleQuery("cold")
+	d.RunBatch(10)
+	d.DailyRefresh(echoResponder("v2"), 1)
+	if d.Version() != 2 {
+		t.Fatalf("version = %d", d.Version())
+	}
+	// "hot" moved into the yearly layer by the refresh.
+	f, ok := d.HandleQuery("hot")
+	if !ok {
+		t.Fatal("hot query should be preloaded after refresh")
+	}
+	if f.Version != 2 {
+		t.Errorf("hot feature version = %d, want 2", f.Version)
+	}
+	// "cold" was only in the daily layer, which the refresh reset.
+	if _, ok := d.HandleQuery("cold"); ok {
+		t.Error("cold query should miss after daily reset")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	d := NewDeployment(DeployConfig{}, echoResponder("v1"))
+	if p50, p99 := d.LatencyPercentiles(); p50 != 0 || p99 != 0 {
+		t.Error("empty latency should be 0")
+	}
+	d.HandleQuery("a")
+	d.RunBatch(10)
+	for i := 0; i < 99; i++ {
+		d.HandleQuery("a")
+	}
+	p50, p99 := d.LatencyPercentiles()
+	if p50 != CacheHitLatencyMs {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestTopInteractions(t *testing.T) {
+	d := NewDeployment(DeployConfig{}, echoResponder("v1"))
+	for i := 0; i < 3; i++ {
+		d.HandleQuery("x")
+	}
+	d.HandleQuery("y")
+	top := d.TopInteractions(1)
+	if len(top) != 1 || top[0] != "x" {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestDeploymentConcurrent(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 128}, echoResponder("v1"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				q := fmt.Sprintf("q%d", rng.Intn(50))
+				d.HandleQuery(q)
+				if i%20 == 0 {
+					d.RunBatch(8)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	stats := d.Cache.Stats()
+	if stats.Hits == 0 {
+		t.Error("no hits under concurrent load")
+	}
+	if stats.HitRate() < 0.5 {
+		t.Errorf("hit rate %.2f too low for 50 hot queries", stats.HitRate())
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 64}, echoResponder("v1"))
+	srv := httptest.NewServer(NewHTTPHandler(d))
+	defer srv.Close()
+
+	// Missing q.
+	resp, err := http.Get(srv.URL + "/intent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", resp.StatusCode)
+	}
+
+	// Cold query: 202 queued.
+	resp, err = http.Get(srv.URL + "/intent?q=camping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("cold status = %d", resp.StatusCode)
+	}
+
+	d.RunBatch(10)
+
+	// Warm query: 200 with feature JSON.
+	resp, err = http.Get(srv.URL + "/intent?q=camping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Feature
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || f.Query != "camping" {
+		t.Errorf("warm response = %d %+v", resp.StatusCode, f)
+	}
+
+	// Stats endpoint.
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := stats["hit_rate"]; !ok {
+		t.Error("stats missing hit_rate")
+	}
+
+	// Health.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("health = %d", resp.StatusCode)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	c := NewFakeClock(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+	before := c.Now()
+	c.Advance(time.Hour)
+	if !c.Now().After(before) {
+		t.Error("clock did not advance")
+	}
+	var rc RealClock
+	if rc.Now().IsZero() {
+		t.Error("real clock zero")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 64}, echoResponder("v1"))
+	d.HandleQuery("camping")
+	d.RunBatch(10)
+	d.HandleQuery("camping")
+	srv := httptest.NewServer(NewHTTPHandler(d))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	text := string(body[:n])
+	for _, want := range []string{
+		"cosmo_cache_hits_total 1",
+		"cosmo_cache_misses_total 1",
+		"cosmo_model_version 1",
+		"cosmo_request_latency_ms{quantile=\"0.5\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFeatureTimestamps(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 16}, echoResponder("v1"))
+	clock := NewFakeClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+	d.Clock = clock
+	d.HandleQuery("camping")
+	d.RunBatch(10)
+	f, ok := d.Store.Get("camping")
+	if !ok {
+		t.Fatal("feature missing")
+	}
+	if !f.CreatedAt.Equal(clock.Now()) {
+		t.Errorf("CreatedAt = %v, want %v", f.CreatedAt, clock.Now())
+	}
+	clock.Advance(24 * time.Hour)
+	d.DailyRefresh(echoResponder("v2"), 4)
+	f2, _ := d.Store.Get("camping")
+	if !f2.CreatedAt.After(f.CreatedAt) {
+		t.Error("refresh should restamp the feature")
+	}
+}

@@ -1,0 +1,80 @@
+package session
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cosmo/internal/catalog"
+)
+
+// exportRecord is the JSONL schema for one session.
+type exportRecord struct {
+	Split   string   `json:"split"` // train / dev / test
+	Items   []string `json:"items"` // product IDs
+	Queries []string `json:"queries"`
+}
+
+// WriteJSONL serializes the dataset (all three splits) as JSON lines,
+// the interchange format teams use to hand session logs to external
+// training jobs.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(split string, seqs []Seq) error {
+		for _, s := range seqs {
+			items := make([]string, len(s.Items))
+			for i, it := range s.Items {
+				items[i] = d.Items[it]
+			}
+			if err := enc.Encode(exportRecord{Split: split, Items: items, Queries: s.Queries}); err != nil {
+				return fmt.Errorf("session: encode jsonl: %w", err)
+			}
+		}
+		return nil
+	}
+	for _, sp := range []struct {
+		name string
+		seqs []Seq
+	}{{"train", d.Train}, {"dev", d.Dev}, {"test", d.Test}} {
+		if err := emit(sp.name, sp.seqs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a dataset written by WriteJSONL. The category is not
+// serialized; pass it explicitly.
+func ReadJSONL(r io.Reader, category catalog.Category) (*Dataset, error) {
+	d := &Dataset{Category: category, ItemIndex: map[string]int{}}
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var rec exportRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("session: decode jsonl: %w", err)
+		}
+		seq := Seq{Items: make([]int, len(rec.Items)), Queries: rec.Queries}
+		for i, id := range rec.Items {
+			idx, ok := d.ItemIndex[id]
+			if !ok {
+				idx = len(d.Items)
+				d.ItemIndex[id] = idx
+				d.Items = append(d.Items, id)
+			}
+			seq.Items[i] = idx
+		}
+		switch rec.Split {
+		case "train":
+			d.Train = append(d.Train, seq)
+		case "dev":
+			d.Dev = append(d.Dev, seq)
+		case "test":
+			d.Test = append(d.Test, seq)
+		default:
+			return nil, fmt.Errorf("session: unknown split %q", rec.Split)
+		}
+	}
+	return d, nil
+}

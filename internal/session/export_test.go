@@ -1,0 +1,54 @@
+package session
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSessionJSONLRoundTrip(t *testing.T) {
+	cat := sessionWorld()
+	ds := Build(cat, ElectronicsConfig(120))
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf, ds.Category)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Train) != len(ds.Train) || len(back.Dev) != len(ds.Dev) || len(back.Test) != len(ds.Test) {
+		t.Fatalf("split sizes differ: %d/%d/%d vs %d/%d/%d",
+			len(back.Train), len(back.Dev), len(back.Test),
+			len(ds.Train), len(ds.Dev), len(ds.Test))
+	}
+	// Item identity survives through the ID remapping.
+	for i, s := range ds.Train {
+		b := back.Train[i]
+		if len(s.Items) != len(b.Items) {
+			t.Fatalf("train %d length differs", i)
+		}
+		for j := range s.Items {
+			if ds.Items[s.Items[j]] != back.Items[b.Items[j]] {
+				t.Fatalf("train %d item %d: %s vs %s", i, j,
+					ds.Items[s.Items[j]], back.Items[b.Items[j]])
+			}
+			if s.Queries[j] != b.Queries[j] {
+				t.Fatalf("train %d query %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSessionReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{bad"), "x"); err == nil {
+		t.Error("garbage should error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"split":"nope","items":[],"queries":[]}`), "x"); err == nil {
+		t.Error("unknown split should error")
+	}
+	ds, err := ReadJSONL(strings.NewReader(""), "x")
+	if err != nil || ds.NumItems() != 0 {
+		t.Errorf("empty input: %v %v", ds, err)
+	}
+}

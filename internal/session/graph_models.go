@@ -1,0 +1,318 @@
+package session
+
+import (
+	"cosmo/internal/embedding"
+	"cosmo/internal/nn"
+)
+
+// sessionGraph builds the directed session graph of SR-GNN: nodes are
+// the unique items of the session, edges connect consecutive clicks.
+type sessionGraph struct {
+	nodes  []int // item ids
+	nodeOf map[int]int
+	inAdj  [][]int
+	outAdj [][]int
+	steps  []int // node index per session step
+}
+
+func buildSessionGraph(items []int) *sessionGraph {
+	g := &sessionGraph{nodeOf: map[int]int{}}
+	for _, it := range items {
+		if _, ok := g.nodeOf[it]; !ok {
+			g.nodeOf[it] = len(g.nodes)
+			g.nodes = append(g.nodes, it)
+		}
+		g.steps = append(g.steps, g.nodeOf[it])
+	}
+	g.inAdj = make([][]int, len(g.nodes))
+	g.outAdj = make([][]int, len(g.nodes))
+	seen := map[[2]int]bool{}
+	for i := 0; i+1 < len(items); i++ {
+		a, b := g.nodeOf[items[i]], g.nodeOf[items[i+1]]
+		if a == b || seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		g.outAdj[a] = append(g.outAdj[a], b)
+		g.inAdj[b] = append(g.inAdj[b], a)
+	}
+	return g
+}
+
+// SRGNN transforms the session into a directed graph and learns item
+// transition representations with gated graph propagation (Wu et al.,
+// 2019); the session is read out with last-node-as-query attention.
+type SRGNN struct {
+	*base
+	conv *nn.GraphConv
+	att  *nn.Attention
+	mix  *nn.MLP
+}
+
+// NewSRGNN builds an SR-GNN model.
+func NewSRGNN() *SRGNN { return &SRGNN{} }
+
+// Fit trains the model.
+func (m *SRGNN) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("SRGNN", ds.NumItems(), cfg.Dim, cfg)
+	m.conv = nn.NewGraphConv(&m.set, "SRGNN.conv", cfg.Dim, m.rng)
+	m.att = nn.NewAttention(&m.set, "SRGNN.att", cfg.Dim, cfg.Hidden, m.rng)
+	m.mix = nn.NewMLP(&m.set, "SRGNN.mix", 2*cfg.Dim, cfg.Hidden, cfg.Dim, m.rng)
+	m.trainLoop(ds, m.rep)
+}
+
+// graphStates runs graph propagation and returns per-node states.
+func (m *SRGNN) graphStates(t *nn.Tape, g *sessionGraph) []*nn.Vec {
+	states := make([]*nn.Vec, len(g.nodes))
+	for i, it := range g.nodes {
+		states[i] = t.UseRow(m.items, it)
+	}
+	return m.conv.Propagate(t, states, g.inAdj, g.outAdj)
+}
+
+func (m *SRGNN) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	g := buildSessionGraph(hist.Items)
+	states := m.graphStates(t, g)
+	last := states[g.steps[len(g.steps)-1]]
+	pooled := m.att.Pool(t, last, states)
+	return m.mix.Forward(t, t.Concat(pooled, last))
+}
+
+// Score ranks items for the history.
+func (m *SRGNN) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }
+
+// GCSAN extends SR-GNN with a self-attention pass over the propagated
+// node states before readout (Xu et al., 2019).
+type GCSAN struct {
+	*base
+	conv *nn.GraphConv
+	self *nn.Attention
+	att  *nn.Attention
+	mix  *nn.MLP
+}
+
+// NewGCSAN builds a GC-SAN model.
+func NewGCSAN() *GCSAN { return &GCSAN{} }
+
+// Fit trains the model.
+func (m *GCSAN) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("GC-SAN", ds.NumItems(), cfg.Dim, cfg)
+	m.conv = nn.NewGraphConv(&m.set, "GCSAN.conv", cfg.Dim, m.rng)
+	m.self = nn.NewAttention(&m.set, "GCSAN.self", cfg.Dim, cfg.Hidden, m.rng)
+	m.att = nn.NewAttention(&m.set, "GCSAN.att", cfg.Dim, cfg.Hidden, m.rng)
+	m.mix = nn.NewMLP(&m.set, "GCSAN.mix", 2*cfg.Dim, cfg.Hidden, cfg.Dim, m.rng)
+	m.trainLoop(ds, m.rep)
+}
+
+func (m *GCSAN) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	g := buildSessionGraph(hist.Items)
+	states := make([]*nn.Vec, len(g.nodes))
+	for i, it := range g.nodes {
+		states[i] = t.UseRow(m.items, it)
+	}
+	states = m.conv.Propagate(t, states, g.inAdj, g.outAdj)
+	// Self-attention: every node re-aggregates the whole graph.
+	refined := make([]*nn.Vec, len(states))
+	for i := range states {
+		refined[i] = t.Add(states[i], m.self.Pool(t, states[i], states))
+	}
+	last := refined[g.steps[len(g.steps)-1]]
+	pooled := m.att.Pool(t, last, refined)
+	return m.mix.Forward(t, t.Concat(pooled, last))
+}
+
+// Score ranks items for the history.
+func (m *GCSAN) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }
+
+// globalGraph holds item co-occurrence neighbors mined from the training
+// sessions — GCE-GNN's global-level graph.
+type globalGraph struct {
+	neighbors [][]int
+}
+
+func buildGlobalGraph(ds *Dataset, maxNeighbors int) *globalGraph {
+	counts := make([]map[int]int, ds.NumItems())
+	for i := range counts {
+		counts[i] = map[int]int{}
+	}
+	for _, s := range ds.Train {
+		for i := 0; i < len(s.Items); i++ {
+			for w := 1; w <= 2; w++ {
+				if i+w < len(s.Items) && s.Items[i] != s.Items[i+w] {
+					counts[s.Items[i]][s.Items[i+w]]++
+					counts[s.Items[i+w]][s.Items[i]]++
+				}
+			}
+		}
+	}
+	g := &globalGraph{neighbors: make([][]int, ds.NumItems())}
+	for i, cs := range counts {
+		type nc struct{ n, c int }
+		var ns []nc
+		for n, c := range cs {
+			ns = append(ns, nc{n, c})
+		}
+		// Top-k by count, deterministic tie-break by item id.
+		for len(ns) > 0 && len(g.neighbors[i]) < maxNeighbors {
+			best := 0
+			for j := 1; j < len(ns); j++ {
+				if ns[j].c > ns[best].c || (ns[j].c == ns[best].c && ns[j].n < ns[best].n) {
+					best = j
+				}
+			}
+			g.neighbors[i] = append(g.neighbors[i], ns[best].n)
+			ns[best] = ns[len(ns)-1]
+			ns = ns[:len(ns)-1]
+		}
+	}
+	return g
+}
+
+// GCEGNN aggregates item embeddings at two levels (Wang et al., 2020):
+// a global co-occurrence graph over all training sessions and the local
+// session graph, combined with soft attention readout.
+type GCEGNN struct {
+	*base
+	global *globalGraph
+	wg     *nn.Param // global-neighbor aggregation matrix
+	conv   *nn.GraphConv
+	att    *nn.Attention
+	mix    *nn.MLP
+}
+
+// NewGCEGNN builds a GCE-GNN model.
+func NewGCEGNN() *GCEGNN { return &GCEGNN{} }
+
+// Fit trains the model.
+func (m *GCEGNN) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("GCE-GNN", ds.NumItems(), cfg.Dim, cfg)
+	m.global = buildGlobalGraph(ds, 6)
+	m.wg = m.set.Add(nn.NewParam("GCEGNN.wg", cfg.Dim, cfg.Dim).Init(m.rng))
+	m.conv = nn.NewGraphConv(&m.set, "GCEGNN.conv", cfg.Dim, m.rng)
+	m.att = nn.NewAttention(&m.set, "GCEGNN.att", cfg.Dim, cfg.Hidden, m.rng)
+	m.mix = nn.NewMLP(&m.set, "GCEGNN.mix", 2*cfg.Dim, cfg.Hidden, cfg.Dim, m.rng)
+	m.trainLoop(ds, m.rep)
+}
+
+// nodeInit builds the global-enhanced initial state of one item.
+func (m *GCEGNN) nodeInit(t *nn.Tape, item int) *nn.Vec {
+	own := t.UseRow(m.items, item)
+	ns := m.global.neighbors[item]
+	if len(ns) == 0 {
+		return own
+	}
+	embs := make([]*nn.Vec, len(ns))
+	for i, n := range ns {
+		embs[i] = t.UseRow(m.items, n)
+	}
+	return t.Add(own, t.Tanh(t.MatVec(m.wg, t.Mean(embs))))
+}
+
+func (m *GCEGNN) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	g := buildSessionGraph(hist.Items)
+	states := make([]*nn.Vec, len(g.nodes))
+	for i, it := range g.nodes {
+		states[i] = m.nodeInit(t, it)
+	}
+	states = m.conv.Propagate(t, states, g.inAdj, g.outAdj)
+	last := states[g.steps[len(g.steps)-1]]
+	pooled := m.att.Pool(t, last, states)
+	return m.mix.Forward(t, t.Concat(pooled, last))
+}
+
+// Score ranks items for the history.
+func (m *GCEGNN) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }
+
+// KnowledgeFn produces the COSMO knowledge span for a (query, item)
+// interaction. The benchmark wires COSMO-LM; tests may use the oracle.
+type KnowledgeFn func(query string, productID string) string
+
+// knowEmbDim is the hashed-embedding dimension for knowledge text; text
+// needs more width than the item embeddings to avoid collision noise.
+const knowEmbDim = 96
+
+// COSMOGNN extends GCE-GNN with COSMO knowledge (§4.2.3): each step's
+// final representation concatenates the GNN item state h_t with the
+// transformed knowledge embedding ĝ_t of the (query, item) interaction;
+// the session representation is the average over steps.
+type COSMOGNN struct {
+	*base
+	inner     *GCEGNN
+	knowledge KnowledgeFn
+	emb       *embedding.Model
+	transform *nn.MLP
+	mix       *nn.MLP
+	dsItems   []string // vocabulary captured at Fit time
+}
+
+// NewCOSMOGNN builds a COSMO-GNN with the given knowledge source.
+func NewCOSMOGNN(knowledge KnowledgeFn) *COSMOGNN {
+	return &COSMOGNN{knowledge: knowledge}
+}
+
+// Fit trains the model.
+func (m *COSMOGNN) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("COSMO-GNN", ds.NumItems(), cfg.Dim, cfg)
+	m.dsItems = ds.Items
+	m.inner = &GCEGNN{}
+	m.inner.base = &base{name: "COSMO-GNN.gnn", cfg: cfg, rng: m.rng}
+	m.inner.set = nn.Set{}
+	// Share the item table with the outer model; register GNN params in
+	// the outer set so one optimizer updates everything.
+	m.inner.items = m.items
+	m.inner.global = buildGlobalGraph(ds, 6)
+	m.inner.wg = m.set.Add(nn.NewParam("COSMOGNN.wg", cfg.Dim, cfg.Dim).Init(m.rng))
+	m.inner.conv = nn.NewGraphConv(&m.set, "COSMOGNN.conv", cfg.Dim, m.rng)
+	m.inner.att = nn.NewAttention(&m.set, "COSMOGNN.att", cfg.Dim, cfg.Hidden, m.rng)
+	m.inner.mix = nn.NewMLP(&m.set, "COSMOGNN.gmix", 2*cfg.Dim, cfg.Hidden, cfg.Dim, m.rng)
+	m.emb = embedding.New(knowEmbDim)
+	m.transform = nn.NewMLP(&m.set, "COSMOGNN.trans", knowEmbDim, cfg.Hidden, cfg.Dim, m.rng)
+	m.mix = nn.NewMLP(&m.set, "COSMOGNN.mix", 4*cfg.Dim, cfg.Hidden, cfg.Dim, m.rng)
+	m.trainLoop(ds, m.rep)
+}
+
+func (m *COSMOGNN) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	g := buildSessionGraph(hist.Items)
+	states := make([]*nn.Vec, len(g.nodes))
+	for i, it := range g.nodes {
+		states[i] = m.inner.nodeInit(t, it)
+	}
+	states = m.inner.conv.Propagate(t, states, g.inAdj, g.outAdj)
+	// Per-step [h_t ; ĝ_t], averaged over steps (paper §4.2.3).
+	stepReps := make([]*nn.Vec, len(g.steps))
+	var ghatLast *nn.Vec
+	for s, node := range g.steps {
+		q := ""
+		if s < len(hist.Queries) {
+			q = hist.Queries[s]
+		}
+		ktext := ""
+		if m.knowledge != nil {
+			ktext = m.knowledge(q, m.itemID(s, hist))
+		}
+		kvec := t.Const(m.emb.Embed(ktext))
+		ghat := m.transform.Forward(t, kvec)
+		stepReps[s] = t.Concat(states[node], ghat)
+		ghatLast = ghat
+	}
+	avg := t.Mean(stepReps)
+	last := states[g.steps[len(g.steps)-1]]
+	// The final query's knowledge carries the freshest intent signal, so
+	// it enters the readout directly besides the averaged step reps.
+	return m.mix.Forward(t, t.Concat(avg, last, ghatLast))
+}
+
+// itemID maps step s back to the product ID for the knowledge lookup.
+func (m *COSMOGNN) itemID(s int, hist Seq) string {
+	if m.dsItems == nil || s >= len(hist.Items) {
+		return ""
+	}
+	idx := hist.Items[s]
+	if idx < 0 || idx >= len(m.dsItems) {
+		return ""
+	}
+	return m.dsItems[idx]
+}
+
+// Score ranks items for the history.
+func (m *COSMOGNN) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }

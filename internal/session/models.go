@@ -1,0 +1,123 @@
+package session
+
+import (
+	"math/rand"
+
+	"cosmo/internal/metrics"
+	"cosmo/internal/nn"
+)
+
+// Recommender is the shared interface of all session models. Score takes
+// the session history (all but the final target item) and returns one
+// score per vocabulary item.
+type Recommender interface {
+	Name() string
+	Fit(ds *Dataset, cfg TrainConfig)
+	Score(hist Seq) []float64
+}
+
+// TrainConfig controls model training.
+type TrainConfig struct {
+	Dim    int
+	Hidden int
+	Epochs int
+	LR     float64
+	Seed   int64
+	// MaxTrainSessions caps training work for tests; 0 = all.
+	MaxTrainSessions int
+}
+
+// DefaultTrainConfig returns laptop-scale training settings. Dim 24 is
+// the stable optimization regime for the graph readouts at this data
+// scale; larger dims oscillate under the shared Adam settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Dim: 24, Hidden: 24, Epochs: 3, LR: 0.01, Seed: 5}
+}
+
+// base holds the machinery shared by the neural recommenders: the item
+// embedding table and the scoring projection.
+type base struct {
+	name  string
+	cfg   TrainConfig
+	set   nn.Set
+	items *nn.Param // item embeddings (V x Dim)
+	out   *nn.Param // maps session rep -> item space when dims differ
+	rng   *rand.Rand
+}
+
+func newBase(name string, numItems int, repDim int, cfg TrainConfig) *base {
+	b := &base{name: name, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	b.items = b.set.Add(nn.NewParam(name+".items", numItems, cfg.Dim).Init(b.rng))
+	if repDim != cfg.Dim {
+		b.out = b.set.Add(nn.NewParam(name+".out", cfg.Dim, repDim).Init(b.rng))
+	}
+	return b
+}
+
+func (b *base) Name() string { return b.name }
+
+// logitsFor computes dot(itemEmb_i, rep) for every item.
+func (b *base) logitsFor(t *nn.Tape, rep *nn.Vec) *nn.Vec {
+	if b.out != nil {
+		rep = t.MatVec(b.out, rep)
+	}
+	return t.MatVec(b.items, rep)
+}
+
+// trainLoop runs the standard prefix-expansion training over sessions,
+// delegating the session representation to repFn.
+func (b *base) trainLoop(ds *Dataset, repFn func(t *nn.Tape, hist Seq) *nn.Vec) {
+	opt := nn.NewAdam(b.cfg.LR)
+	sessions := ds.Train
+	if b.cfg.MaxTrainSessions > 0 && len(sessions) > b.cfg.MaxTrainSessions {
+		sessions = sessions[:b.cfg.MaxTrainSessions]
+	}
+	order := b.rng.Perm(len(sessions))
+	for epoch := 0; epoch < b.cfg.Epochs; epoch++ {
+		b.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, si := range order {
+			for _, ex := range Prefixes(sessions[si]) {
+				hist := Seq{
+					Items:   ex.Items[:len(ex.Items)-1],
+					Queries: ex.Queries[:len(ex.Queries)-1],
+				}
+				target := ex.Items[len(ex.Items)-1]
+				t := nn.NewTape()
+				rep := repFn(t, hist)
+				loss := t.CrossEntropy(b.logitsFor(t, rep), target)
+				t.Backward(loss)
+				opt.Step(&b.set)
+			}
+		}
+	}
+}
+
+// scoreWith evaluates the representation function on a history.
+func (b *base) scoreWith(hist Seq, repFn func(t *nn.Tape, hist Seq) *nn.Vec) []float64 {
+	t := nn.NewTape()
+	logits := b.logitsFor(t, repFn(t, hist))
+	out := make([]float64, logits.Len())
+	copy(out, logits.V)
+	return out
+}
+
+// Evaluate computes Hits@K, NDCG@K and MRR@K for a model over test
+// sessions (predicting the final item from the preceding history).
+func Evaluate(m Recommender, test []Seq, k int) (hits, ndcg, mrr float64) {
+	rm := metrics.NewRankMetrics(k)
+	for _, seq := range test {
+		if len(seq.Items) < 2 {
+			continue
+		}
+		hist := Seq{
+			Items:   seq.Items[:len(seq.Items)-1],
+			Queries: seq.Queries[:len(seq.Queries)-1],
+		}
+		target := seq.Items[len(seq.Items)-1]
+		scores := m.Score(hist)
+		// Exclude history items? The paper ranks over the full item set;
+		// we do the same but never the target's own position leak.
+		rm.AddRank(metrics.RankOf(scores, target))
+	}
+	return rm.Hits(), rm.NDCG(), rm.MRR()
+}

@@ -1,0 +1,31 @@
+package session
+
+import (
+	"strings"
+
+	"cosmo/internal/behavior"
+	"cosmo/internal/catalog"
+)
+
+// OracleKnowledge returns a KnowledgeFn backed by the catalog's ground
+// truth: the intent of the product that matches the step's query. It
+// bounds what a perfect COSMO-LM could supply; benchmarks wire the real
+// COSMO-LM instead.
+func OracleKnowledge(cat *catalog.Catalog) KnowledgeFn {
+	return func(query string, productID string) string {
+		p, ok := cat.ByID(productID)
+		if !ok {
+			return ""
+		}
+		qWord := query
+		if i := strings.IndexByte(query, ' '); i >= 0 {
+			qWord = query[:i]
+		}
+		for _, in := range cat.IntentsOf(p) {
+			if behavior.BroadQuery(in) == qWord || strings.Contains(query, in.Tail) {
+				return in.Surface()
+			}
+		}
+		return ""
+	}
+}

@@ -1,0 +1,155 @@
+package session
+
+import "cosmo/internal/nn"
+
+// FPMC factorizes personalized Markov chains. With anonymous sessions
+// the user factor drops and the model reduces to a factorized first-order
+// transition: score(j | last=i) = <T_i, E_j>.
+type FPMC struct {
+	*base
+	trans *nn.Param
+}
+
+// NewFPMC builds an FPMC model.
+func NewFPMC() *FPMC { return &FPMC{} }
+
+// Fit trains the transition factors.
+func (m *FPMC) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("FPMC", ds.NumItems(), cfg.Dim, cfg)
+	m.trans = m.set.Add(nn.NewParam("FPMC.trans", ds.NumItems(), cfg.Dim).Init(m.rng))
+	m.trainLoop(ds, m.rep)
+}
+
+func (m *FPMC) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	last := hist.Items[len(hist.Items)-1]
+	return t.UseRow(m.trans, last)
+}
+
+// Score ranks items for the history.
+func (m *FPMC) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }
+
+// GRU4Rec encodes the session with a gated recurrent unit (Hidasi et
+// al., 2016) and scores items against the final hidden state.
+type GRU4Rec struct {
+	*base
+	cell *nn.GRUCell
+}
+
+// NewGRU4Rec builds a GRU4Rec model.
+func NewGRU4Rec() *GRU4Rec { return &GRU4Rec{} }
+
+// Fit trains the model.
+func (m *GRU4Rec) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("GRU4Rec", ds.NumItems(), cfg.Hidden, cfg)
+	m.cell = nn.NewGRUCell(&m.set, "GRU4Rec.cell", cfg.Dim, cfg.Hidden, m.rng)
+	m.trainLoop(ds, m.rep)
+}
+
+func (m *GRU4Rec) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	h := m.cell.Zero(t)
+	for _, it := range hist.Items {
+		h = m.cell.Step(t, t.UseRow(m.items, it), h)
+	}
+	return h
+}
+
+// Score ranks items for the history.
+func (m *GRU4Rec) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }
+
+// STAMP applies attention over the history with the last item as the
+// short-term priority signal (Liu et al., 2018): the session is the sum
+// of attention-pooled history and the last item's embedding, mixed by an
+// MLP.
+type STAMP struct {
+	*base
+	att *nn.Attention
+	mix *nn.MLP
+}
+
+// NewSTAMP builds a STAMP model.
+func NewSTAMP() *STAMP { return &STAMP{} }
+
+// Fit trains the model.
+func (m *STAMP) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("STAMP", ds.NumItems(), cfg.Dim, cfg)
+	m.att = nn.NewAttention(&m.set, "STAMP.att", cfg.Dim, cfg.Hidden, m.rng)
+	m.mix = nn.NewMLP(&m.set, "STAMP.mix", 2*cfg.Dim, cfg.Hidden, cfg.Dim, m.rng)
+	m.trainLoop(ds, m.rep)
+}
+
+func (m *STAMP) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	embs := make([]*nn.Vec, len(hist.Items))
+	for i, it := range hist.Items {
+		embs[i] = t.UseRow(m.items, it)
+	}
+	last := embs[len(embs)-1]
+	pooled := m.att.Pool(t, last, embs)
+	return m.mix.Forward(t, t.Concat(pooled, last))
+}
+
+// Score ranks items for the history.
+func (m *STAMP) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }
+
+// CSRM combines an inner (current-session GRU) encoder with an external
+// memory of recent session representations (Wang et al., 2019); a
+// learned gate mixes the two.
+type CSRM struct {
+	*base
+	cell   *nn.GRUCell
+	gate   *nn.Linear
+	memory [][]float64 // frozen representations of recent sessions
+	memCap int
+}
+
+// NewCSRM builds a CSRM model.
+func NewCSRM() *CSRM { return &CSRM{memCap: 64} }
+
+// Fit trains the model, maintaining the external memory online.
+func (m *CSRM) Fit(ds *Dataset, cfg TrainConfig) {
+	m.base = newBase("CSRM", ds.NumItems(), cfg.Hidden, cfg)
+	m.cell = nn.NewGRUCell(&m.set, "CSRM.cell", cfg.Dim, cfg.Hidden, m.rng)
+	m.gate = nn.NewLinear(&m.set, "CSRM.gate", 2*cfg.Hidden, cfg.Hidden, m.rng)
+	if m.memCap == 0 {
+		m.memCap = 64
+	}
+	m.trainLoop(ds, m.rep)
+}
+
+func (m *CSRM) inner(t *nn.Tape, hist Seq) *nn.Vec {
+	h := m.cell.Zero(t)
+	for _, it := range hist.Items {
+		h = m.cell.Step(t, t.UseRow(m.items, it), h)
+	}
+	return h
+}
+
+func (m *CSRM) rep(t *nn.Tape, hist Seq) *nn.Vec {
+	h := m.inner(t, hist)
+	// Update the external memory with a frozen copy of this session.
+	snapshot := make([]float64, h.Len())
+	copy(snapshot, h.V)
+	m.memory = append(m.memory, snapshot)
+	if len(m.memory) > m.memCap {
+		m.memory = m.memory[len(m.memory)-m.memCap:]
+	}
+	if len(m.memory) < 2 {
+		return h
+	}
+	// Outer memory: mean of recent session representations.
+	mem := make([]float64, h.Len())
+	for _, v := range m.memory {
+		for i := range mem {
+			mem[i] += v[i]
+		}
+	}
+	for i := range mem {
+		mem[i] /= float64(len(m.memory))
+	}
+	outer := t.Const(mem)
+	g := t.Sigmoid(m.gate.Forward(t, t.Concat(h, outer)))
+	// rep = g⊙h + (1-g)⊙outer = outer + g⊙(h - outer)
+	return t.Add(outer, t.Mul(g, t.Sub(h, outer)))
+}
+
+// Score ranks items for the history.
+func (m *CSRM) Score(hist Seq) []float64 { return m.scoreWith(hist, m.rep) }

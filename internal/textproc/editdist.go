@@ -1,0 +1,81 @@
+package textproc
+
+// EditDistance returns the Levenshtein distance between a and b, computed
+// over runes with O(min(|a|,|b|)) memory. It backs the paper's rule that
+// drops generations that merely copy the query, product type, or product
+// title (edit distance below a threshold).
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// NormalizedEditDistance returns EditDistance(a,b) divided by the length
+// of the longer string, in [0,1]. Identical strings score 0.
+func NormalizedEditDistance(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	n := la
+	if lb > n {
+		n = lb
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(EditDistance(a, b)) / float64(n)
+}
+
+// TokenOverlap returns the Jaccard overlap between the stemmed content
+// token sets of a and b. Used by the similarity filter tests as an
+// embedding-free reference measure.
+func TokenOverlap(a, b string) float64 {
+	sa := map[string]bool{}
+	for _, t := range StemAll(ContentTokens(a)) {
+		sa[t] = true
+	}
+	sb := map[string]bool{}
+	for _, t := range StemAll(ContentTokens(b)) {
+		sb[t] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}

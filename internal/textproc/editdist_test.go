@@ -1,0 +1,100 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEditDistanceBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceIdentityProperty(t *testing.T) {
+	f := func(a string) bool { return EditDistance(a, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceTriangleProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceBoundedProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		d := EditDistance(a, b)
+		la, lb := len([]rune(a)), len([]rune(b))
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedEditDistance(t *testing.T) {
+	if got := NormalizedEditDistance("", ""); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := NormalizedEditDistance("abcd", "abcd"); got != 0 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := NormalizedEditDistance("abcd", "wxyz"); got != 1 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestTokenOverlap(t *testing.T) {
+	if got := TokenOverlap("walking the dog", "walk a dog"); got != 1.0 {
+		t.Errorf("stems should fully overlap, got %v", got)
+	}
+	if got := TokenOverlap("camera lens", "hiking boots"); got != 0 {
+		t.Errorf("disjoint should be 0, got %v", got)
+	}
+}
+
+func BenchmarkEditDistance(b *testing.B) {
+	s1 := "customers bought them together because they provide protection for the camera"
+	s2 := "capable of providing protection for camera and screen"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistance(s1, s2)
+	}
+}

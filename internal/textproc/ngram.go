@@ -1,0 +1,146 @@
+package textproc
+
+import (
+	"math"
+	"strings"
+)
+
+// NgramLM is a trigram language model with stupid-backoff smoothing. It is
+// the reproduction's substitute for the GPT-2 perplexity filter in the
+// paper's coarse-grained filtering stage: trained on well-formed knowledge
+// strings, it assigns markedly higher perplexity to truncated or malformed
+// generations, and a tuned threshold removes them.
+type NgramLM struct {
+	uni   map[string]int
+	bi    map[string]int
+	tri   map[string]int
+	total int
+	vocab int
+	// backoff is the stupid-backoff discount (0.4 in the original paper
+	// by Brants et al.; kept configurable for tests).
+	backoff float64
+}
+
+const (
+	bosToken = "<s>"
+	eosToken = "</s>"
+	oovToken = "<unk>"
+)
+
+// NewNgramLM returns an empty model with the standard 0.4 backoff factor.
+func NewNgramLM() *NgramLM {
+	return &NgramLM{
+		uni:     map[string]int{},
+		bi:      map[string]int{},
+		tri:     map[string]int{},
+		backoff: 0.4,
+	}
+}
+
+// Train adds one sentence to the model.
+func (m *NgramLM) Train(sentence string) {
+	toks := Tokenize(sentence)
+	if len(toks) == 0 {
+		return
+	}
+	seq := make([]string, 0, len(toks)+3)
+	seq = append(seq, bosToken, bosToken)
+	seq = append(seq, toks...)
+	seq = append(seq, eosToken)
+	for i := 2; i < len(seq); i++ {
+		w := seq[i]
+		if m.uni[w] == 0 {
+			m.vocab++
+		}
+		m.uni[w]++
+		m.total++
+		m.bi[seq[i-1]+" "+w]++
+		m.tri[seq[i-2]+" "+seq[i-1]+" "+w]++
+	}
+	// Count context unigrams/bigrams for denominators.
+	for i := 1; i < len(seq); i++ {
+		m.uni[seq[i-1]] += 0 // context keys exist implicitly via counts below
+	}
+}
+
+// TrainAll trains on every sentence.
+func (m *NgramLM) TrainAll(sentences []string) {
+	for _, s := range sentences {
+		m.Train(s)
+	}
+}
+
+// prob returns the stupid-backoff score of w given the two preceding
+// tokens. It is a score, not a normalized probability, which is fine for
+// thresholding perplexity-like quantities.
+func (m *NgramLM) prob(w2, w1, w string) float64 {
+	if c := m.tri[w2+" "+w1+" "+w]; c > 0 {
+		if d := m.bi[w2+" "+w1]; d > 0 {
+			return float64(c) / float64(d)
+		}
+	}
+	if c := m.bi[w1+" "+w]; c > 0 {
+		if d := m.uni[w1]; d > 0 {
+			return m.backoff * float64(c) / float64(d)
+		}
+	}
+	if c := m.uni[w]; c > 0 {
+		return m.backoff * m.backoff * float64(c) / float64(m.total)
+	}
+	// OOV: uniform over an extended vocabulary.
+	return m.backoff * m.backoff / float64(m.total+m.vocab+1)
+}
+
+// LogProb returns the total natural-log score of the sentence.
+func (m *NgramLM) LogProb(sentence string) float64 {
+	toks := Tokenize(sentence)
+	seq := make([]string, 0, len(toks)+3)
+	seq = append(seq, bosToken, bosToken)
+	seq = append(seq, toks...)
+	seq = append(seq, eosToken)
+	lp := 0.0
+	for i := 2; i < len(seq); i++ {
+		lp += math.Log(m.prob(seq[i-2], seq[i-1], seq[i]))
+	}
+	return lp
+}
+
+// Perplexity returns exp(-LogProb/N) where N counts the scored tokens
+// (words plus the end marker). Lower is better. Empty input returns +Inf.
+func (m *NgramLM) Perplexity(sentence string) float64 {
+	toks := Tokenize(sentence)
+	n := len(toks) + 1
+	if len(toks) == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-m.LogProb(sentence) / float64(n))
+}
+
+// VocabSize returns the number of distinct trained unigram types.
+func (m *NgramLM) VocabSize() int { return m.vocab }
+
+// KnownFraction returns the fraction of tokens in sentence that are in
+// the model vocabulary; a cheap well-formedness signal used in tests.
+func (m *NgramLM) KnownFraction(sentence string) float64 {
+	toks := Tokenize(sentence)
+	if len(toks) == 0 {
+		return 0
+	}
+	known := 0
+	for _, t := range toks {
+		if m.uni[t] > 0 {
+			known++
+		}
+	}
+	return float64(known) / float64(len(toks))
+}
+
+// TruncateWords returns the first n words of s joined by spaces; used by
+// the teacher-LLM noise model to fabricate incomplete generations.
+func TruncateWords(s string, n int) string {
+	f := strings.Fields(s)
+	if n >= len(f) {
+		return s
+	}
+	return strings.Join(f[:n], " ")
+}

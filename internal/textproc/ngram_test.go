@@ -1,0 +1,164 @@
+package textproc
+
+import (
+	"math"
+	"testing"
+)
+
+var trainingSentences = []string{
+	"used for walking the dog",
+	"used for walking in the park",
+	"capable of holding snacks",
+	"capable of providing protection for the camera",
+	"used for peeling potatoes",
+	"used to build a fence",
+	"used for biking on trails",
+	"capable of keeping the feet dry",
+	"used for sharpening scissors",
+	"used to protect the headset",
+	"used for stamping on fabric",
+	"capable of hydrating the skin",
+	"used for writing down important information",
+	"used to make potato chips",
+	"capable of tracking calories burned",
+	"used for wedding party",
+	"capable of flying in the air",
+	"used for the dog to play",
+}
+
+func trainedLM() *NgramLM {
+	m := NewNgramLM()
+	m.TrainAll(trainingSentences)
+	return m
+}
+
+func TestPerplexityOrdersWellFormedFirst(t *testing.T) {
+	m := trainedLM()
+	good := m.Perplexity("used for walking the dog")
+	garbled := m.Perplexity("dog the walking for used")
+	if good >= garbled {
+		t.Errorf("good=%v should beat garbled=%v", good, garbled)
+	}
+	oov := m.Perplexity("zzyzx qwrk flrm")
+	if good >= oov {
+		t.Errorf("good=%v should beat OOV=%v", good, oov)
+	}
+}
+
+func TestPerplexityPenalizesTruncation(t *testing.T) {
+	m := trainedLM()
+	full := m.Perplexity("capable of providing protection for the camera")
+	// Truncated mid-phrase: "capable of providing protection for the".
+	trunc := m.Perplexity(TruncateWords("capable of providing protection for the camera", 6))
+	if full >= trunc {
+		t.Errorf("full=%v should beat truncated=%v", full, trunc)
+	}
+}
+
+func TestPerplexityEmptyIsInf(t *testing.T) {
+	m := trainedLM()
+	if p := m.Perplexity(""); !math.IsInf(p, 1) {
+		t.Errorf("empty perplexity = %v, want +Inf", p)
+	}
+}
+
+func TestPerplexityPositive(t *testing.T) {
+	m := trainedLM()
+	for _, s := range trainingSentences {
+		if p := m.Perplexity(s); p <= 0 || math.IsNaN(p) {
+			t.Errorf("Perplexity(%q) = %v", s, p)
+		}
+	}
+}
+
+func TestLogProbMonotoneInLength(t *testing.T) {
+	m := trainedLM()
+	// Adding tokens can only decrease total log-prob (probs < 1... scores <= 1).
+	short := m.LogProb("used for walking")
+	long := m.LogProb("used for walking the dog in the park every day")
+	if long > short {
+		t.Errorf("longer sequence should not have higher logprob: %v > %v", long, short)
+	}
+}
+
+func TestKnownFraction(t *testing.T) {
+	m := trainedLM()
+	if f := m.KnownFraction("used for walking the dog"); f != 1.0 {
+		t.Errorf("all-known = %v", f)
+	}
+	if f := m.KnownFraction("zzyzx qwrk"); f != 0.0 {
+		t.Errorf("all-unknown = %v", f)
+	}
+	if f := m.KnownFraction(""); f != 0 {
+		t.Errorf("empty = %v", f)
+	}
+}
+
+func TestVocabSize(t *testing.T) {
+	m := NewNgramLM()
+	m.Train("a b c")
+	m.Train("a b d")
+	// vocab: a b c d </s>
+	if got := m.VocabSize(); got != 5 {
+		t.Errorf("vocab = %d, want 5", got)
+	}
+}
+
+func TestTruncateWords(t *testing.T) {
+	if got := TruncateWords("a b c d", 2); got != "a b" {
+		t.Errorf("got %q", got)
+	}
+	if got := TruncateWords("a b", 5); got != "a b" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]int{1, 1}); math.Abs(h-1.0) > 1e-12 {
+		t.Errorf("uniform-2 entropy = %v, want 1", h)
+	}
+	if h := Entropy([]int{4}); h != 0 {
+		t.Errorf("point mass entropy = %v, want 0", h)
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Errorf("empty entropy = %v, want 0", h)
+	}
+	if h := Entropy([]int{1, 1, 1, 1}); math.Abs(h-2.0) > 1e-12 {
+		t.Errorf("uniform-4 entropy = %v, want 2", h)
+	}
+}
+
+func TestCooccurrenceGenericDetection(t *testing.T) {
+	s := NewCooccurrenceStats()
+	// Generic knowledge appears with many distinct contexts.
+	for _, ctx := range []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"} {
+		s.Observe("used for the same reason", ctx)
+	}
+	// Specific knowledge appears with one context repeatedly.
+	for i := 0; i < 8; i++ {
+		s.Observe("used for peeling potatoes", "peeler")
+	}
+	if !s.IsGeneric("used for the same reason", 5, 2.0) {
+		t.Error("broad knowledge should be flagged generic")
+	}
+	if s.IsGeneric("used for peeling potatoes", 5, 2.0) {
+		t.Error("specific knowledge should not be flagged generic")
+	}
+	if s.DistinctContexts("used for the same reason") != 8 {
+		t.Errorf("distinct contexts = %d", s.DistinctContexts("used for the same reason"))
+	}
+	if s.Frequency("used for peeling potatoes") != 8 {
+		t.Errorf("frequency = %d", s.Frequency("used for peeling potatoes"))
+	}
+	if len(s.Keys()) != 2 {
+		t.Errorf("keys = %v", s.Keys())
+	}
+}
+
+func BenchmarkPerplexity(b *testing.B) {
+	m := trainedLM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Perplexity("capable of providing protection for the camera")
+	}
+}

@@ -1,0 +1,103 @@
+package textproc
+
+import "strings"
+
+// abbreviations that should not terminate a sentence when followed by '.'.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "st": true,
+	"vs": true, "etc": true, "e.g": true, "i.e": true, "inc": true,
+	"oz": true, "fl": true, "pkg": true, "no": true, "approx": true,
+}
+
+// SplitSentences segments text into sentences. It is the reproduction's
+// substitute for the nltk sentence segmenter used by the paper's
+// rule-based filter: the first sentence of an LLM generation is extracted
+// and the rest discarded.
+func SplitSentences(text string) []string {
+	var sentences []string
+	var b strings.Builder
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		b.WriteRune(r)
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		// Look back for abbreviation before '.'.
+		if r == '.' {
+			cur := strings.ToLower(strings.TrimSpace(b.String()))
+			cur = strings.TrimSuffix(cur, ".")
+			if j := strings.LastIndexAny(cur, " \t"); j >= 0 {
+				cur = cur[j+1:]
+			}
+			if abbreviations[cur] {
+				continue
+			}
+			// Decimal number like "2.5".
+			if i > 0 && i+1 < len(runes) && isDigit(runes[i-1]) && isDigit(runes[i+1]) {
+				continue
+			}
+		}
+		// Sentence boundary requires following space+capital, end of text,
+		// or a newline.
+		if i+1 >= len(runes) || isBoundaryFollow(runes, i+1) {
+			if s := strings.TrimSpace(b.String()); s != "" {
+				sentences = append(sentences, s)
+			}
+			b.Reset()
+		}
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		sentences = append(sentences, s)
+	}
+	return sentences
+}
+
+func isBoundaryFollow(runes []rune, i int) bool {
+	// Skip closing quotes/brackets.
+	for i < len(runes) && (runes[i] == '"' || runes[i] == '\'' || runes[i] == ')') {
+		i++
+	}
+	if i >= len(runes) {
+		return true
+	}
+	return runes[i] == ' ' || runes[i] == '\n' || runes[i] == '\t'
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+// FirstSentence returns the first sentence of text, or "" if text is blank.
+func FirstSentence(text string) string {
+	ss := SplitSentences(text)
+	if len(ss) == 0 {
+		return ""
+	}
+	return ss[0]
+}
+
+// LooksComplete applies the linguistic completeness heuristics from the
+// paper's coarse-grained rule filter: a knowledge string must contain at
+// least two tokens, must not end mid-word (trailing comma, conjunction,
+// preposition, or article), and must contain at least one non-stopword.
+func LooksComplete(s string) bool {
+	toks := Tokenize(s)
+	if len(toks) < 2 {
+		return false
+	}
+	last := toks[len(toks)-1]
+	switch last {
+	case "and", "or", "but", "the", "a", "an", "of", "to", "for", "with",
+		"in", "on", "at", "by", "because", "is", "are", "that", "which":
+		return false
+	}
+	if strings.HasSuffix(strings.TrimSpace(s), ",") {
+		return false
+	}
+	content := 0
+	for _, t := range toks {
+		if !stopwords[t] {
+			content++
+		}
+	}
+	return content >= 1
+}

@@ -1,0 +1,105 @@
+// Package textproc provides the text-processing substrate used across the
+// COSMO pipeline: tokenization, sentence segmentation, edit distance,
+// lightweight stemming, entropy statistics, and an n-gram language model
+// used for perplexity-based filtering (the paper's GPT-2 substitute).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. Punctuation separates
+// tokens and is dropped, except that intra-word apostrophes and hyphens
+// are preserved ("cat's", "co-buy").
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && b.Len() > 0 && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Join is the inverse-ish of Tokenize: join tokens with single spaces.
+func Join(tokens []string) string { return strings.Join(tokens, " ") }
+
+// NormalizeSpace collapses runs of whitespace into single spaces and trims.
+func NormalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// stopwords is a small English stopword list tuned for e-commerce
+// knowledge strings ("used for walking the dog" → content words
+// "used walking dog" minus relation markers).
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "to": true, "in": true,
+	"on": true, "for": true, "with": true, "and": true, "or": true,
+	"is": true, "are": true, "be": true, "been": true, "being": true,
+	"it": true, "its": true, "they": true, "them": true, "their": true,
+	"this": true, "that": true, "these": true, "those": true,
+	"at": true, "by": true, "as": true, "was": true, "were": true,
+	"because": true, "so": true, "can": true, "will": true, "would": true,
+}
+
+// IsStopword reports whether the (lowercase) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// ContentTokens returns the tokens of s with stopwords removed.
+func ContentTokens(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, t := range toks {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stem applies a tiny suffix-stripping stemmer (a Porter-lite) adequate
+// for matching inflected forms of e-commerce vocabulary
+// ("protects" / "protecting" / "protection" → "protect").
+func Stem(tok string) string {
+	t := tok
+	for _, suf := range []string{"'s", "'"} {
+		t = strings.TrimSuffix(t, suf)
+	}
+	rules := []struct{ suffix, replace string }{
+		{"ations", "ate"}, {"ation", "ate"}, {"nesses", "ness"},
+		{"ements", "ement"}, {"ings", ""}, {"ing", ""},
+		{"ies", "y"}, {"ied", "y"}, {"edly", ""}, {"eds", ""},
+		{"ed", ""}, {"es", ""}, {"s", ""},
+	}
+	for _, r := range rules {
+		if strings.HasSuffix(t, r.suffix) && len(t)-len(r.suffix) >= 3 {
+			return t[:len(t)-len(r.suffix)] + r.replace
+		}
+	}
+	return t
+}
+
+// StemAll stems every token.
+func StemAll(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = Stem(t)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"cat's toy", []string{"cat's", "toy"}},
+		{"co-buy behavior", []string{"co-buy", "behavior"}},
+		{"", nil},
+		{"   ", nil},
+		{"USB-C 2.0 cable", []string{"usb-c", "2", "0", "cable"}},
+		{"dog-", []string{"dog"}},
+		{"'quoted'", []string{"quoted"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("MIXED Case TOKENS Here") {
+		if tok != strings.ToLower(tok) {
+			t.Errorf("token %q not lowercase", tok)
+		}
+	}
+}
+
+func TestTokenizeIdempotentProperty(t *testing.T) {
+	// Tokenizing the joined tokens yields the same tokens.
+	f := func(s string) bool {
+		first := Tokenize(s)
+		second := Tokenize(Join(first))
+		return reflect.DeepEqual(first, second)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeSpace(t *testing.T) {
+	if got := NormalizeSpace("  a \t b\n\nc  "); got != "a b c" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestContentTokens(t *testing.T) {
+	got := ContentTokens("used for walking the dog")
+	want := []string{"used", "walking", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"protects":   "protect",
+		"protecting": "protect",
+		"walked":     "walk",
+		"walking":    "walk",
+		"dogs":       "dog",
+		"dog":        "dog",
+		"batteries":  "battery",
+		"it":         "it", // too short to strip
+		"cat's":      "cat",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemAllLength(t *testing.T) {
+	in := []string{"walking", "dogs", "fast"}
+	out := StemAll(in)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d vs %d", len(out), len(in))
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") {
+		t.Error("'the' should be a stopword")
+	}
+	if IsStopword("camera") {
+		t.Error("'camera' should not be a stopword")
+	}
+}
+
+func TestStemNeverEmptyProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if Stem(tok) == "" && tok != "" && tok != "'" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
