@@ -7,11 +7,13 @@
 package cosmo
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
 
 	"cosmo/internal/experiments"
+	"cosmo/internal/serving"
 )
 
 // benchScale shrinks workloads so the full suite completes in minutes.
@@ -104,3 +106,37 @@ func BenchmarkBaselineFolkScope(b *testing.B) { benchExperiment(b, "baseline-fol
 
 // BenchmarkFutureRewrites measures query-rewrite reduction via navigation.
 func BenchmarkFutureRewrites(b *testing.B) { benchExperiment(b, "future-rewrites") }
+
+// benchCacheLookupParallel measures concurrent cache hits with the given
+// lock-stripe count; comparing the single-mutex and sharded variants
+// shows the contention the striping removes from the serving hot path.
+func benchCacheLookupParallel(b *testing.B, shards int) {
+	c := serving.NewAsyncCacheWithConfig(serving.CacheConfig{
+		DailyCap: 4096, Shards: shards, QueueCap: 4096,
+	})
+	const nKeys = 1024
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("query-%d", i)
+		c.InstallDaily(serving.Feature{Query: keys[i]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Lookup(keys[i%nKeys])
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheLookupParallelSingleMutex is the pre-shard baseline:
+// every lookup serializes on one mutex.
+func BenchmarkCacheLookupParallelSingleMutex(b *testing.B) { benchCacheLookupParallel(b, 1) }
+
+// BenchmarkCacheLookupParallelSharded runs the same workload over the
+// default lock-striped configuration.
+func BenchmarkCacheLookupParallelSharded(b *testing.B) {
+	benchCacheLookupParallel(b, serving.DefaultCacheShards)
+}

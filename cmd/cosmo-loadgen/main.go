@@ -1,6 +1,8 @@
 // Command cosmo-loadgen drives a running cosmo-serve instance with
 // Zipf-like query traffic and reports throughput, hit behaviour and
-// latency — the client side of the Figure 5 serving evaluation.
+// latency — the client side of the Figure 5 serving evaluation. After
+// the run it scrapes /stats for the server-side view (hit rate, queue
+// depth, and how many queued misses the bounded batch queue dropped).
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,20 +43,38 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent workers")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *requests < 1 {
+		*requests = 1
+	}
 
 	var served, queued, failed atomic.Int64
+	// Every request gets a latency slot: worker w sends count(w)
+	// requests starting at offset(w), so the remainder when requests is
+	// not divisible by workers is still sent and no zero-valued tail
+	// skews the percentiles.
 	latencies := make([]float64, *requests)
-	var mu sync.Mutex
+	sent := make([]bool, *requests)
+	count := func(w int) int {
+		n := *requests / *workers
+		if w < *requests%*workers {
+			n++
+		}
+		return n
+	}
 	var wg sync.WaitGroup
-	per := *requests / *workers
 	start := time.Now()
+	offset := 0
 	for w := 0; w < *workers; w++ {
+		n := count(w)
 		wg.Add(1)
-		go func(w int) {
+		go func(w, offset, n int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			client := &http.Client{Timeout: 5 * time.Second}
-			for i := 0; i < per; i++ {
+			for i := 0; i < n; i++ {
 				// Zipf-ish skew toward the head of the pool.
 				q := queryPool[int(rng.Float64()*rng.Float64()*float64(len(queryPool)))]
 				t0 := time.Now()
@@ -73,17 +94,28 @@ func main() {
 				default:
 					failed.Add(1)
 				}
-				mu.Lock()
-				latencies[w*per+i] = dt
-				mu.Unlock()
+				latencies[offset+i] = dt
+				sent[offset+i] = true
 			}
-		}(w)
+		}(w, offset, n)
+		offset += n
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Drop slots whose request errored before a latency was measured.
+	ok := latencies[:0]
+	for i, l := range latencies {
+		if sent[i] {
+			ok = append(ok, l)
+		}
+	}
+	latencies = ok
 	sort.Float64s(latencies)
 	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
 		i := int(p * float64(len(latencies)))
 		if i >= len(latencies) {
 			i = len(latencies) - 1
@@ -96,4 +128,25 @@ func main() {
 	fmt.Printf("served from cache: %d (%.1f%%), queued for batch: %d, failed: %d\n",
 		served.Load(), 100*float64(served.Load())/float64(total), queued.Load(), failed.Load())
 	fmt.Printf("client latency: p50=%.1fms p99=%.1fms\n", pct(0.50), pct(0.99))
+
+	// Server-side view: hit rate, queue depth and bounded-queue drops.
+	resp, err := http.Get(*target + "/stats")
+	if err != nil {
+		log.Printf("stats scrape failed: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		HitRate float64 `json:"hit_rate"`
+		Cache   struct {
+			BatchQueued  int
+			BatchDropped int
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Printf("stats decode failed: %v", err)
+		return
+	}
+	fmt.Printf("server: hit rate %.1f%%, batch queue depth %d, queue dropped %d\n",
+		stats.HitRate*100, stats.Cache.BatchQueued, stats.Cache.BatchDropped)
 }

@@ -1,20 +1,26 @@
 // Command cosmo-serve runs the COSMO online serving stack of Figure 5:
 // it builds the world, trains COSMO-LM through the offline pipeline,
 // then serves structured intent features over HTTP through the feature
-// store and asynchronous two-layer cache, with a background batch
-// processor and a periodic model-refresh loop.
+// store and asynchronous sharded two-layer cache, with a background
+// batch worker and a periodic model-refresh loop. SIGINT/SIGTERM shut
+// the server down gracefully: in-flight requests finish and the batch
+// worker performs a final drain before exit.
 //
 // Usage:
 //
-//	cosmo-serve [-addr :8080] [-events N] [-refresh 24h]
+//	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
 //
-// Endpoints: GET /intent?q=..., GET /stats, GET /healthz.
+// Endpoints: GET /intent?q=..., GET /stats, GET /metrics, GET /healthz.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cosmo/internal/core"
@@ -28,7 +34,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	events := flag.Int("events", 10000, "behavior events for the offline pipeline")
 	refresh := flag.Duration("refresh", 24*time.Hour, "model refresh interval")
-	batchEvery := flag.Duration("batch", 2*time.Second, "batch-processor interval")
+	batchEvery := flag.Duration("batch", 2*time.Second, "batch-worker interval")
+	batchSize := flag.Int("batch-size", 256, "max queries per batch run")
+	shards := flag.Int("shards", serving.DefaultCacheShards, "cache lock-stripe count")
+	queueCap := flag.Int("queue-cap", serving.DefaultQueueCap, "bounded batch-queue capacity")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -57,26 +66,49 @@ func main() {
 		return f
 	})
 
-	dep := serving.NewDeployment(serving.DeployConfig{DailyCacheCap: 4096}, responder)
+	dep := serving.NewDeployment(serving.DeployConfig{
+		DailyCacheCap: 4096,
+		CacheShards:   *shards,
+		QueueCap:      *queueCap,
+	}, responder)
 
-	// Background batch processor ("Batch Processing and Cache Update").
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Background batch worker ("Batch Processing and Cache Update").
+	workerDone := dep.StartWorker(ctx, *batchEvery, *batchSize)
+
+	// Daily refresh loop ("Model Deployment" + feedback loop).
 	go func() {
-		for range time.Tick(*batchEvery) {
-			if n := dep.RunBatch(256); n > 0 {
-				log.Printf("batch processed %d queries", n)
+		ticker := time.NewTicker(*refresh)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				log.Print("daily refresh: rotating model and caches")
+				dep.DailyRefresh(responder, 2048)
 			}
 		}
 	}()
-	// Daily refresh loop ("Model Deployment" + feedback loop).
+
+	srv := &http.Server{Addr: *addr, Handler: serving.NewHTTPHandler(dep)}
 	go func() {
-		for range time.Tick(*refresh) {
-			log.Print("daily refresh: rotating model and caches")
-			dep.DailyRefresh(responder, 2048)
+		<-ctx.Done()
+		log.Print("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
 		}
 	}()
 
-	log.Printf("serving on %s", *addr)
-	if err := http.ListenAndServe(*addr, serving.NewHTTPHandler(dep)); err != nil {
+	log.Printf("serving on %s (%d cache shards, queue cap %d)",
+		*addr, dep.Cache.NumShards(), *queueCap)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	<-workerDone // final batch drain completes before exit
+	log.Print("bye")
 }

@@ -98,7 +98,6 @@ func (c *Confusion) MicroF1() float64 {
 // RankMetrics accumulates Hits@K, NDCG@K and MRR@K over queries.
 type RankMetrics struct {
 	K     int
-	n     int
 	hits  float64
 	ndcg  float64
 	mrr   float64

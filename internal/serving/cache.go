@@ -1,10 +1,5 @@
 package serving
 
-import (
-	"container/list"
-	"sync"
-)
-
 // CacheStats reports cache behavior.
 type CacheStats struct {
 	Hits        int
@@ -15,6 +10,9 @@ type CacheStats struct {
 	DailySize   int
 	YearlySize  int
 	BatchQueued int
+	// BatchDropped counts misses evicted from the bounded batch queue
+	// before they could be processed (drop-oldest policy).
+	BatchDropped int
 }
 
 // HitRate returns hits / (hits + misses).
@@ -26,6 +24,39 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.YearlyHits += o.YearlyHits
+	s.DailyHits += o.DailyHits
+	s.Evictions += o.Evictions
+	s.DailySize += o.DailySize
+	s.YearlySize += o.YearlySize
+	s.BatchQueued += o.BatchQueued
+	s.BatchDropped += o.BatchDropped
+}
+
+// Defaults for the sharded cache. Shard count is fixed (not NumCPU) so
+// behavior is deterministic across machines; 8 stripes is enough to take
+// mutex contention off the profile at the request rates the loadgen
+// drives while keeping per-shard LRUs large enough to be useful.
+const (
+	DefaultCacheShards = 8
+	DefaultQueueCap    = 4096
+)
+
+// CacheConfig configures the sharded async cache.
+type CacheConfig struct {
+	// DailyCap is the total daily-layer capacity, split across shards.
+	DailyCap int
+	// Shards is the number of lock stripes (default DefaultCacheShards,
+	// clamped so every shard holds at least one daily entry).
+	Shards int
+	// QueueCap is the total bounded miss-queue capacity, split across
+	// shards (default DefaultQueueCap).
+	QueueCap int
+}
+
 // AsyncCache is the two-layer asynchronous cache store of §3.5.1:
 //
 //   - Layer 1 holds pre-loaded yearly frequent searches (immutable
@@ -35,15 +66,15 @@ func (s CacheStats) HitRate() float64 {
 //
 // Misses are queued for asynchronous batch processing rather than
 // computed inline, which is what keeps serving latency flat.
+//
+// The cache is lock-striped: queries hash to one of N independent
+// shards, each with its own mutex, daily LRU slice and bounded miss
+// queue, so concurrent lookups on different keys do not serialize. LRU
+// eviction and queue bounds are therefore per-shard properties; the
+// total daily capacity and queue capacity are split across shards.
 type AsyncCache struct {
-	mu     sync.Mutex
-	yearly map[string]Feature
-	daily  map[string]*list.Element
-	lru    *list.List
-	cap    int
-	stats  CacheStats
-	queue  []string
-	queued map[string]bool
+	shards []*cacheShard
+	mask   uint64 // len(shards)-1; shard count is a power of two
 }
 
 type dailyEntry struct {
@@ -51,117 +82,120 @@ type dailyEntry struct {
 	f   Feature
 }
 
-// NewAsyncCache builds a cache whose daily layer holds up to dailyCap
-// entries.
+// NewAsyncCache builds a sharded cache whose daily layer holds up to
+// dailyCap entries in total, with default shard and queue settings.
 func NewAsyncCache(dailyCap int) *AsyncCache {
-	if dailyCap < 1 {
-		dailyCap = 1
-	}
-	return &AsyncCache{
-		yearly: map[string]Feature{},
-		daily:  map[string]*list.Element{},
-		lru:    list.New(),
-		cap:    dailyCap,
-		queued: map[string]bool{},
-	}
+	return NewAsyncCacheWithConfig(CacheConfig{DailyCap: dailyCap})
 }
+
+// NewAsyncCacheWithConfig builds a cache with explicit shard count and
+// queue capacity. Shard count is rounded down to a power of two and
+// clamped to [1, DailyCap] so the summed per-shard capacities never
+// exceed the configured totals.
+func NewAsyncCacheWithConfig(cfg CacheConfig) *AsyncCache {
+	if cfg.DailyCap < 1 {
+		cfg.DailyCap = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultCacheShards
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.Shards > cfg.DailyCap {
+		cfg.Shards = cfg.DailyCap
+	}
+	if cfg.Shards > cfg.QueueCap {
+		cfg.Shards = cfg.QueueCap
+	}
+	n := 1
+	for n*2 <= cfg.Shards {
+		n *= 2
+	}
+	c := &AsyncCache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		// Split capacity, spreading the remainder over the low shards so
+		// the totals match the configured caps exactly.
+		dcap := cfg.DailyCap / n
+		if i < cfg.DailyCap%n {
+			dcap++
+		}
+		qcap := cfg.QueueCap / n
+		if i < cfg.QueueCap%n {
+			qcap++
+		}
+		c.shards[i] = newCacheShard(dcap, qcap)
+	}
+	return c
+}
+
+func (c *AsyncCache) shard(query string) *cacheShard {
+	return c.shards[fnv1a(query)&c.mask]
+}
+
+// NumShards returns the number of lock stripes.
+func (c *AsyncCache) NumShards() int { return len(c.shards) }
 
 // PreloadYearly installs the yearly frequent-search layer.
 func (c *AsyncCache) PreloadYearly(features []Feature) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, f := range features {
-		c.yearly[f.Query] = f
+		c.shard(f.Query).preloadYearly(f)
 	}
 }
 
 // Lookup serves a query: yearly layer first, then daily LRU. On a miss
 // the query is queued for batch processing and (nil, false) returns
 // immediately — the caller degrades gracefully rather than blocking on
-// model inference.
+// model inference. When the bounded miss queue is full, the oldest
+// queued query is dropped to admit this one.
 func (c *AsyncCache) Lookup(query string) (Feature, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if f, ok := c.yearly[query]; ok {
-		c.stats.Hits++
-		c.stats.YearlyHits++
-		return f, true
-	}
-	if el, ok := c.daily[query]; ok {
-		c.lru.MoveToFront(el)
-		c.stats.Hits++
-		c.stats.DailyHits++
-		return el.Value.(dailyEntry).f, true
-	}
-	c.stats.Misses++
-	if !c.queued[query] {
-		c.queued[query] = true
-		c.queue = append(c.queue, query)
-	}
-	return Feature{}, false
+	return c.shard(query).lookup(query)
 }
 
-// InstallDaily inserts a batch-processed feature into the daily layer,
-// evicting the least recently used entry when full.
+// InstallDaily inserts a batch-processed feature into the daily layer of
+// its shard, evicting that shard's least recently used entry when full.
 func (c *AsyncCache) InstallDaily(f Feature) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.queued, f.Query)
-	if el, ok := c.daily[f.Query]; ok {
-		el.Value = dailyEntry{f.Query, f}
-		c.lru.MoveToFront(el)
-		return
-	}
-	if c.lru.Len() >= c.cap {
-		back := c.lru.Back()
-		if back != nil {
-			c.lru.Remove(back)
-			delete(c.daily, back.Value.(dailyEntry).key)
-			c.stats.Evictions++
-		}
-	}
-	c.daily[f.Query] = c.lru.PushFront(dailyEntry{f.Query, f})
+	c.shard(f.Query).installDaily(f)
 }
 
 // DrainQueue removes and returns up to n queued queries for the batch
-// processor.
+// processor, taking from each shard in turn.
 func (c *AsyncCache) DrainQueue(n int) []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if n > len(c.queue) {
-		n = len(c.queue)
+	var out []string
+	for _, s := range c.shards {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, s.drain(n-len(out))...)
 	}
-	out := make([]string, n)
-	copy(out, c.queue[:n])
-	c.queue = c.queue[n:]
 	return out
 }
 
 // ResetDaily clears the daily layer (the daily refresh boundary).
+// Pending queue entries are kept: they are misses that still need batch
+// processing, and their queued-map entries are cleared either when the
+// batch installs them or when the bounded queue drops them.
 func (c *AsyncCache) ResetDaily() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.daily = map[string]*list.Element{}
-	c.lru = list.New()
+	for _, s := range c.shards {
+		s.resetDaily()
+	}
 }
 
 // ReplaceYearly swaps in a new yearly layer (the yearly refresh).
 func (c *AsyncCache) ReplaceYearly(features []Feature) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.yearly = map[string]Feature{}
+	for _, s := range c.shards {
+		s.resetYearly()
+	}
 	for _, f := range features {
-		c.yearly[f.Query] = f
+		c.shard(f.Query).preloadYearly(f)
 	}
 }
 
-// Stats snapshots cache statistics.
+// Stats snapshots cache statistics aggregated across all shards.
 func (c *AsyncCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.DailySize = c.lru.Len()
-	s.YearlySize = len(c.yearly)
-	s.BatchQueued = len(c.queue)
-	return s
+	var total CacheStats
+	for _, s := range c.shards {
+		total.add(s.snapshot())
+	}
+	return total
 }

@@ -1,8 +1,9 @@
 package serving
 
 import (
-	"sort"
+	"context"
 	"sync"
+	"time"
 )
 
 // Responder runs model inference for one query — the expensive path that
@@ -26,26 +27,41 @@ const (
 	CacheMissLatencyMs = 3.0 // lookup + enqueue; response degrades, never blocks
 )
 
+// interactionStripes is the lock-stripe count of the feedback-loop
+// counter; like the cache shard count it is fixed for determinism.
+const interactionStripes = 16
+
 // Deployment wires the cache store, feature store, responder and refresh
 // loop together (Figure 5's operational flow).
+//
+// The request path (HandleQuery) is lock-striped end to end: the cache
+// shards on query hash, latency goes to a fixed-bucket atomic histogram,
+// and the interaction feedback loop is a striped counter. Memory is
+// O(cache capacity + distinct queries), not O(requests served).
 type Deployment struct {
 	Cache *AsyncCache
 	Store *FeatureStore
 	// Clock stamps features; swap in a FakeClock for tests.
 	Clock Clock
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards responder and version only
 	responder Responder
 	version   int
-	latencies []float64
+
+	latency *Histogram
 	// interactions is the feedback loop: query -> interaction count,
 	// feeding the next refresh's frequent-search selection.
-	interactions map[string]int
+	interactions *stripedCounter
 }
 
 // DeployConfig configures a deployment.
 type DeployConfig struct {
 	DailyCacheCap int
+	// CacheShards overrides the cache's lock-stripe count
+	// (DefaultCacheShards when 0).
+	CacheShards int
+	// QueueCap bounds the batch miss queue (DefaultQueueCap when 0).
+	QueueCap int
 }
 
 // NewDeployment builds a deployment around the initial model.
@@ -54,12 +70,17 @@ func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
 		cfg.DailyCacheCap = 1024
 	}
 	return &Deployment{
-		Cache:        NewAsyncCache(cfg.DailyCacheCap),
+		Cache: NewAsyncCacheWithConfig(CacheConfig{
+			DailyCap: cfg.DailyCacheCap,
+			Shards:   cfg.CacheShards,
+			QueueCap: cfg.QueueCap,
+		}),
 		Store:        NewFeatureStore(),
 		Clock:        RealClock{},
 		responder:    responder,
 		version:      1,
-		interactions: map[string]int{},
+		latency:      NewHistogram(nil),
+		interactions: newStripedCounter(interactionStripes),
 	}
 }
 
@@ -72,17 +93,17 @@ func (d *Deployment) Version() int {
 
 // HandleQuery is the request path: check the async cache, return
 // structured features on a hit; on a miss the query is queued for batch
-// processing and the caller proceeds without intent features.
+// processing and the caller proceeds without intent features. No global
+// lock is taken: the cache lookup, latency observation and feedback
+// increment are all striped or atomic.
 func (d *Deployment) HandleQuery(query string) (Feature, bool) {
 	f, ok := d.Cache.Lookup(query)
-	d.mu.Lock()
 	if ok {
-		d.latencies = append(d.latencies, CacheHitLatencyMs)
+		d.latency.Observe(CacheHitLatencyMs)
 	} else {
-		d.latencies = append(d.latencies, CacheMissLatencyMs)
+		d.latency.Observe(CacheMissLatencyMs)
 	}
-	d.interactions[query]++
-	d.mu.Unlock()
+	d.interactions.inc(query)
 	return f, ok
 }
 
@@ -107,30 +128,52 @@ func (d *Deployment) RunBatch(n int) int {
 	return len(queries)
 }
 
+// StartWorker launches the background batch-processing loop: every
+// interval it drains up to batchSize queued misses through RunBatch.
+// When ctx is cancelled the worker performs one final drain (so queries
+// accepted before shutdown still get processed) and exits; the returned
+// channel is closed once it has stopped.
+func (d *Deployment) StartWorker(ctx context.Context, interval time.Duration, batchSize int) <-chan struct{} {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				d.RunBatch(batchSize)
+				return
+			case <-ticker.C:
+				d.RunBatch(batchSize)
+			}
+		}
+	}()
+	return done
+}
+
 // DailyRefresh swaps in a refreshed model ("Model Deployment: dynamic
 // ingestion of customer behavior session logs and efficient model
 // updates"), clears the daily cache layer, and rebuilds the yearly layer
-// from the most-interacted queries of the feedback loop.
+// from the most-interacted queries of the feedback loop. A negative
+// yearlyTop is treated as 0 (refresh the model, install no yearly
+// entries).
 func (d *Deployment) DailyRefresh(responder Responder, yearlyTop int) {
 	d.mu.Lock()
 	d.responder = responder
 	d.version++
 	version := d.version
-	type qc struct {
-		q string
-		c int
-	}
-	var counts []qc
-	for q, c := range d.interactions {
-		counts = append(counts, qc{q, c})
-	}
 	d.mu.Unlock()
-	sort.Slice(counts, func(i, j int) bool {
-		if counts[i].c != counts[j].c {
-			return counts[i].c > counts[j].c
-		}
-		return counts[i].q < counts[j].q
-	})
+	counts := d.interactions.sorted()
+	if yearlyTop < 0 {
+		yearlyTop = 0
+	}
 	if yearlyTop > len(counts) {
 		yearlyTop = len(counts)
 	}
@@ -148,46 +191,26 @@ func (d *Deployment) DailyRefresh(responder Responder, yearlyTop int) {
 }
 
 // LatencyPercentiles returns the p50 and p99 of observed request
-// latencies (ms).
+// latencies (ms), estimated from the fixed-bucket histogram.
 func (d *Deployment) LatencyPercentiles() (p50, p99 float64) {
-	d.mu.Lock()
-	ls := make([]float64, len(d.latencies))
-	copy(ls, d.latencies)
-	d.mu.Unlock()
-	if len(ls) == 0 {
-		return 0, 0
-	}
-	sort.Float64s(ls)
-	idx := func(p float64) float64 {
-		i := int(p * float64(len(ls)))
-		if i >= len(ls) {
-			i = len(ls) - 1
-		}
-		return ls[i]
-	}
-	return idx(0.50), idx(0.99)
+	s := d.latency.Snapshot()
+	return s.Quantile(0.50), s.Quantile(0.99)
+}
+
+// LatencySnapshot exposes the latency histogram's buckets (for the
+// /metrics exporter).
+func (d *Deployment) LatencySnapshot() HistogramSnapshot {
+	return d.latency.Snapshot()
 }
 
 // TopInteractions returns the feedback loop's most frequent queries.
 func (d *Deployment) TopInteractions(n int) []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	type qc struct {
-		q string
-		c int
-	}
-	var counts []qc
-	for q, c := range d.interactions {
-		counts = append(counts, qc{q, c})
-	}
-	sort.Slice(counts, func(i, j int) bool {
-		if counts[i].c != counts[j].c {
-			return counts[i].c > counts[j].c
-		}
-		return counts[i].q < counts[j].q
-	})
+	counts := d.interactions.sorted()
 	if n > len(counts) {
 		n = len(counts)
+	}
+	if n < 0 {
+		n = 0
 	}
 	out := make([]string, n)
 	for i := 0; i < n; i++ {

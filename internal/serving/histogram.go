@@ -1,0 +1,115 @@
+package serving
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBucketsMs are the upper bounds (ms) of the serving
+// latency histogram. They include the simulated cache-hit (2ms) and
+// cache-miss (3ms) latencies as exact bounds so quantile estimates over
+// simulated traffic are exact, then widen roughly geometrically up to
+// the multi-second range where an online system has already failed its
+// latency budget.
+var DefaultLatencyBucketsMs = []float64{
+	0.25, 0.5, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64,
+	96, 128, 192, 256, 384, 512, 768, 1024,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations and
+// snapshots use atomics only, so the request hot path never takes a
+// lock and memory stays O(buckets) regardless of request count —
+// replacing the unbounded per-request latency slice the deployment used
+// to keep.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; observations above the last go to overflow
+	counts []atomic.Int64 // len(bounds)+1; last slot is the overflow bucket
+	total  atomic.Int64
+	sumUs  atomic.Int64 // sum in integer microseconds (atomic float sums race)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending
+	Counts []int64   // per-bucket counts; len(Bounds)+1 with overflow last
+	Total  int64
+	SumMs  float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (DefaultLatencyBucketsMs when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBucketsMs
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one latency observation in milliseconds.
+func (h *Histogram) Observe(ms float64) {
+	// Binary search for the first bound >= ms; everything above the last
+	// bound lands in the overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, ms)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumUs.Add(int64(ms * 1000))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Total += c
+	}
+	s.SumMs = float64(h.sumUs.Load()) / 1000
+	return s
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) in O(buckets) by
+// returning the upper bound of the bucket containing the rank — the
+// standard conservative fixed-bucket estimate. Returns 0 when empty;
+// observations in the overflow bucket report the last finite bound.
+func (h *Histogram) Quantile(p float64) float64 {
+	return h.Snapshot().Quantile(p)
+}
+
+// Quantile estimates the p-quantile from a snapshot (see
+// Histogram.Quantile). Taking one snapshot and deriving several
+// quantiles keeps them mutually consistent.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(p * float64(s.Total))
+	if rank >= s.Total {
+		rank = s.Total - 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,110 @@
+package serving
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Count() != 0 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramQuantileBucketBounds(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 90 observations in the <=2 bucket, 10 in the <=8 bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want bucket bound 2", got)
+	}
+	if got := h.Quantile(0.95); got != 8 {
+		t.Errorf("p95 = %v, want bucket bound 8", got)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("p0 = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p1 = %v, want 8", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100) // beyond the last bound
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want last finite bound 2", got)
+	}
+	s := h.Snapshot()
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Errorf("overflow count = %v", s.Counts)
+	}
+}
+
+func TestHistogramSnapshotSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	s := h.Snapshot()
+	if s.Total != 3 {
+		t.Errorf("total = %d", s.Total)
+	}
+	if s.SumMs != 5 {
+		t.Errorf("sum = %v, want 5", s.SumMs)
+	}
+}
+
+// TestHistogramConcurrentObserve drives Observe from many goroutines;
+// under -race this proves the hot path is lock-free and data-race-free,
+// and the final count must be exact (no lost updates).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perW {
+		t.Errorf("count = %d, want %d", h.Count(), workers*perW)
+	}
+	if got := h.Quantile(0.5); got < 1 || got > float64(workers) {
+		t.Errorf("p50 = %v out of observed range", got)
+	}
+}
+
+// TestDeploymentMemoryBounded: the deployment's per-request state is a
+// fixed histogram, so the latency structure must not grow with request
+// count (regression for the old unbounded latencies slice).
+func TestDeploymentMemoryBounded(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 16}, echoResponder("v1"))
+	for i := 0; i < 5000; i++ {
+		d.HandleQuery("same-query")
+	}
+	s := d.LatencySnapshot()
+	if len(s.Counts) != len(DefaultLatencyBucketsMs)+1 {
+		t.Errorf("bucket count %d changed with traffic", len(s.Counts))
+	}
+	if s.Total != 5000 {
+		t.Errorf("observations = %d", s.Total)
+	}
+}

@@ -50,7 +50,7 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		_, _ = w.Write([]byte("ok"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		p50, p99 := d.LatencyPercentiles()
+		hist := d.LatencySnapshot()
 		stats := d.Cache.Stats()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprintf(w, "cosmo_cache_hits_total %d\n", stats.Hits)
@@ -60,9 +60,19 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		fmt.Fprintf(w, "cosmo_cache_evictions_total %d\n", stats.Evictions)
 		fmt.Fprintf(w, "cosmo_cache_daily_size %d\n", stats.DailySize)
 		fmt.Fprintf(w, "cosmo_cache_yearly_size %d\n", stats.YearlySize)
+		fmt.Fprintf(w, "cosmo_cache_shards %d\n", d.Cache.NumShards())
 		fmt.Fprintf(w, "cosmo_batch_queue_depth %d\n", stats.BatchQueued)
-		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.5\"} %g\n", p50)
-		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.99\"} %g\n", p99)
+		fmt.Fprintf(w, "cosmo_batch_queue_dropped_total %d\n", stats.BatchDropped)
+		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.5\"} %g\n", hist.Quantile(0.50))
+		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.99\"} %g\n", hist.Quantile(0.99))
+		var cum int64
+		for i, bound := range hist.Bounds {
+			cum += hist.Counts[i]
+			fmt.Fprintf(w, "cosmo_request_latency_ms_bucket{le=\"%g\"} %d\n", bound, cum)
+		}
+		fmt.Fprintf(w, "cosmo_request_latency_ms_bucket{le=\"+Inf\"} %d\n", hist.Total)
+		fmt.Fprintf(w, "cosmo_request_latency_ms_sum %g\n", hist.SumMs)
+		fmt.Fprintf(w, "cosmo_request_latency_ms_count %d\n", hist.Total)
 		fmt.Fprintf(w, "cosmo_model_version %d\n", d.Version())
 		fmt.Fprintf(w, "cosmo_feature_store_size %d\n", d.Store.Len())
 	})

@@ -75,7 +75,9 @@ func TestAsyncCacheTwoLayers(t *testing.T) {
 }
 
 func TestAsyncCacheLRUEviction(t *testing.T) {
-	c := NewAsyncCache(2)
+	// Single shard: LRU ordering is a per-shard property, and this test
+	// asserts exact eviction order across three keys.
+	c := NewAsyncCacheWithConfig(CacheConfig{DailyCap: 2, Shards: 1})
 	c.InstallDaily(Feature{Query: "a"})
 	c.InstallDaily(Feature{Query: "b"})
 	c.Lookup("a") // refresh a
@@ -149,6 +151,116 @@ func TestDailyRefreshRotatesModelAndCaches(t *testing.T) {
 	// "cold" was only in the daily layer, which the refresh reset.
 	if _, ok := d.HandleQuery("cold"); ok {
 		t.Error("cold query should miss after daily reset")
+	}
+}
+
+// TestDailyRefreshNegativeYearlyTop is a regression test: a negative
+// yearlyTop used to slice counts[:yearlyTop] and panic.
+func TestDailyRefreshNegativeYearlyTop(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 16}, echoResponder("v1"))
+	d.HandleQuery("camping")
+	d.RunBatch(10)
+	d.DailyRefresh(echoResponder("v2"), -5) // must not panic
+	if d.Version() != 2 {
+		t.Errorf("version = %d, want 2", d.Version())
+	}
+	if got := d.Cache.Stats().YearlySize; got != 0 {
+		t.Errorf("yearly size = %d, want 0 for clamped top", got)
+	}
+}
+
+// TestBoundedQueueDropOldest checks the bounded miss queue's
+// drop-oldest policy and that dropped queries leave the de-dup map so
+// they can be re-enqueued by a later miss.
+func TestBoundedQueueDropOldest(t *testing.T) {
+	c := NewAsyncCacheWithConfig(CacheConfig{DailyCap: 8, Shards: 1, QueueCap: 2})
+	c.Lookup("a")
+	c.Lookup("b")
+	c.Lookup("c") // queue full: "a" dropped to admit "c"
+	if got := c.Stats().BatchDropped; got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	if got := c.Stats().BatchQueued; got != 2 {
+		t.Fatalf("queued = %d, want 2", got)
+	}
+	// The dropped query must be re-enqueueable: its queued-map entry was
+	// cleared on drop, so this miss drops "b" and re-admits "a".
+	c.Lookup("a")
+	q := c.DrainQueue(10)
+	if len(q) != 2 || q[0] != "c" || q[1] != "a" {
+		t.Fatalf("queue after re-enqueue = %v, want [c a]", q)
+	}
+	if got := c.Stats().BatchDropped; got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	// Drained queries stay de-duped until installed: a second miss on
+	// "c" while its batch is in flight must not enqueue a duplicate.
+	c.Lookup("c")
+	if q := c.DrainQueue(10); len(q) != 0 {
+		t.Errorf("in-flight query re-queued: %v", q)
+	}
+}
+
+// TestQueuedMapStaysInSync: under arbitrary lookup/drop/drain/install
+// interleavings the de-dup map must track exactly the ring contents
+// plus in-flight drained queries that were never installed.
+func TestQueuedMapStaysInSync(t *testing.T) {
+	c := NewAsyncCacheWithConfig(CacheConfig{DailyCap: 4, Shards: 1, QueueCap: 4})
+	s := c.shards[0]
+	for i := 0; i < 200; i++ {
+		q := fmt.Sprintf("q%d", i%13)
+		switch i % 4 {
+		case 0, 1:
+			c.Lookup(q)
+		case 2:
+			for _, drained := range c.DrainQueue(2) {
+				c.InstallDaily(Feature{Query: drained})
+			}
+		default:
+			c.InstallDaily(Feature{Query: q})
+		}
+		s.mu.Lock()
+		qLen := s.qLen
+		s.mu.Unlock()
+		if qLen > 4 {
+			t.Fatalf("step %d: ring %d exceeds cap", i, qLen)
+		}
+	}
+	// Drain fully and install everything: the map must empty out.
+	for _, q := range c.DrainQueue(100) {
+		c.InstallDaily(Feature{Query: q})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.qLen != 0 || len(s.queued) != 0 {
+		t.Errorf("after full drain+install: ring %d, queued map %d", s.qLen, len(s.queued))
+	}
+}
+
+func TestShardRouting(t *testing.T) {
+	c := NewAsyncCache(1024)
+	if c.NumShards() != DefaultCacheShards {
+		t.Fatalf("shards = %d, want %d", c.NumShards(), DefaultCacheShards)
+	}
+	// Tiny caches clamp the stripe count so per-shard capacity stays >= 1.
+	if got := NewAsyncCache(2).NumShards(); got > 2 {
+		t.Errorf("tiny cache shards = %d", got)
+	}
+	// All installed keys are findable regardless of which shard they hash to.
+	for i := 0; i < 100; i++ {
+		c.InstallDaily(Feature{Query: fmt.Sprintf("k%d", i)})
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Lookup(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing after install", i)
+		}
+	}
+	// DrainQueue reaches queries queued on every shard.
+	for i := 0; i < 64; i++ {
+		c.Lookup(fmt.Sprintf("miss%d", i))
+	}
+	if got := len(c.DrainQueue(1000)); got != 64 {
+		t.Errorf("drained %d of 64 queued misses", got)
 	}
 }
 

@@ -1,0 +1,139 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedCacheConcurrentStress hammers every mutating cache
+// operation from many goroutines; run under `go test -race` this is the
+// tentpole's concurrency proof for the lock-striped shards.
+func TestShardedCacheConcurrentStress(t *testing.T) {
+	c := NewAsyncCacheWithConfig(CacheConfig{DailyCap: 128, QueueCap: 256})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				q := fmt.Sprintf("q%d", rng.Intn(200))
+				switch rng.Intn(5) {
+				case 0, 1:
+					c.Lookup(q)
+				case 2:
+					c.InstallDaily(Feature{Query: q})
+				case 3:
+					for _, d := range c.DrainQueue(8) {
+						c.InstallDaily(Feature{Query: d})
+					}
+				default:
+					c.Stats()
+				}
+			}
+		}(int64(w))
+	}
+	// Concurrent refresh churn against the lookup/install traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.ReplaceYearly([]Feature{{Query: fmt.Sprintf("yearly%d", i)}})
+			c.ResetDaily()
+		}
+	}()
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Error("no traffic recorded")
+	}
+	if s.DailySize > 128 {
+		t.Errorf("daily size %d exceeds total cap", s.DailySize)
+	}
+	if s.BatchQueued > 256 {
+		t.Errorf("queue depth %d exceeds bound", s.BatchQueued)
+	}
+}
+
+// TestDeploymentConcurrentWithWorkerAndRefresh runs the full serving
+// loop — HandleQuery traffic, the background batch worker, and daily
+// refreshes — concurrently, as cosmo-serve does in production.
+func TestDeploymentConcurrentWithWorkerAndRefresh(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 256, QueueCap: 512}, echoResponder("v1"))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := d.StartWorker(ctx, time.Millisecond, 64)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				d.HandleQuery(fmt.Sprintf("q%d", rng.Intn(100)))
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			d.DailyRefresh(echoResponder(fmt.Sprintf("v%d", i+2)), 16)
+			d.LatencyPercentiles()
+			d.TopInteractions(5)
+		}
+	}()
+	wg.Wait()
+	cancel()
+	<-done
+
+	if d.Version() != 11 {
+		t.Errorf("version = %d, want 11 after 10 refreshes", d.Version())
+	}
+	if got := d.latency.Count(); got != 8000 {
+		t.Errorf("latency observations = %d, want 8000", got)
+	}
+	// Drain any stragglers queued after the worker's final pass; the
+	// queue must empty, proving nothing leaked or wedged.
+	for i := 0; i < 100 && d.RunBatch(64) > 0; i++ {
+	}
+	if got := d.Cache.Stats().BatchQueued; got != 0 {
+		t.Errorf("queue depth %d after full drain", got)
+	}
+}
+
+// TestStartWorkerDrainsBacklogAndStops: queued misses are processed by
+// the worker without manual RunBatch calls, and cancellation performs a
+// final drain before the done channel closes.
+func TestStartWorkerDrainsBacklogAndStops(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 128}, echoResponder("v1"))
+	for i := 0; i < 50; i++ {
+		d.HandleQuery(fmt.Sprintf("cold-%d", i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := d.StartWorker(ctx, time.Millisecond, 16)
+	deadline := time.After(5 * time.Second)
+	for d.Store.Len() < 50 {
+		select {
+		case <-deadline:
+			t.Fatalf("worker drained only %d/50 before deadline", d.Store.Len())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// A query accepted just before shutdown is still processed by the
+	// final drain.
+	d.HandleQuery("last-call")
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not stop")
+	}
+	if _, ok := d.Store.Get("last-call"); !ok {
+		t.Error("final drain skipped the last queued query")
+	}
+}
