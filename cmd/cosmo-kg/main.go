@@ -37,7 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g, err := kg.ReadGob(f)
-	f.Close()
+	f.Close() //cosmo:lint-ignore dropped-error close of a read-only file; decode outcome is checked below
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := g.WriteTSV(out); err != nil {
-			out.Close()
+			out.Close() //cosmo:lint-ignore dropped-error already on the fatal path; the write error is the root cause
 			log.Fatal(err)
 		}
 		if err := out.Close(); err != nil {

@@ -84,8 +84,9 @@ func main() {
 					failed.Add(1)
 					continue
 				}
+				//cosmo:lint-ignore dropped-error best-effort body drain so the connection is reused; latency was already recorded
 				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close in the load generator; failures surface as request errors
 				switch resp.StatusCode {
 				case http.StatusOK:
 					served.Add(1)

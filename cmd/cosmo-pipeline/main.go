@@ -62,7 +62,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := fn(f); err != nil {
-			f.Close()
+			f.Close() //cosmo:lint-ignore dropped-error already on the fatal path; the write error is the root cause
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

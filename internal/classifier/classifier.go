@@ -35,7 +35,7 @@ func (f *Featurizer) Dim() int { return f.dim }
 
 func (f *Featurizer) hash(s string) int {
 	h := fnv.New32a()
-	h.Write([]byte(s))
+	h.Write([]byte(s)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
 	return int(h.Sum32() % uint32(f.dim))
 }
 

@@ -144,7 +144,7 @@ func (m *Model) features(task, input string) []int {
 	var idx []int
 	h := func(s string) int {
 		hh := fnv.New32a()
-		hh.Write([]byte(s))
+		hh.Write([]byte(s)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
 		return int(hh.Sum32() % uint32(m.headDim))
 	}
 	toks := contextTokens(input)

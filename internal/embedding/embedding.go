@@ -33,7 +33,7 @@ func (m *Model) Dim() int { return m.dim }
 // hashFeature maps a feature string to (index, sign).
 func (m *Model) hashFeature(f string) (int, float64) {
 	h := fnv.New64a()
-	h.Write([]byte(f))
+	h.Write([]byte(f)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
 	v := h.Sum64()
 	idx := int(v % uint64(m.dim))
 	sign := 1.0

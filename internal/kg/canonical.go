@@ -59,6 +59,7 @@ func (g *Graph) Canonicalize() *Graph {
 	for _, e := range g.Edges() {
 		e.Tail = replace[e.Tail]
 		// AddEdge merges duplicates created by tail replacement.
+		//cosmo:lint-ignore dropped-error AddEdge only errors on unknown endpoints; every surviving node was added above
 		_ = out.AddEdge(e)
 	}
 	return out

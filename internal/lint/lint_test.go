@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// moduleRoot locates the repo root (two levels above this package).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+var (
+	loaderOnce sync.Once
+	loaderMu   sync.Mutex
+	sharedLdr  *Loader
+	loaderErr  error
+)
+
+// fixtureLoader shares one Loader across tests so the stdlib is
+// type-checked once.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	root := moduleRoot(t)
+	loaderOnce.Do(func() {
+		sharedLdr, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLdr
+}
+
+// loadFixture loads internal/lint/testdata/src/<name>.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l := fixtureLoader(t)
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, "internal", "lint", "testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return pkg
+}
+
+// got renders findings as "base.go:line:check" for exact comparison.
+func got(findings []Finding) []string {
+	out := make([]string, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, fmt.Sprintf("%s:%d:%s", path.Base(f.File), f.Line, f.Check))
+	}
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFixtures is the per-check contract: each fixture package contains
+// known-good and known-bad code plus //cosmo:lint-ignore suppressions,
+// and the check must report exactly the bad lines.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name    string // check under test
+		fixture string
+		config  func(*Config)
+		want    []string // "file:line:check", sorted by file then line
+	}{
+		{
+			name:    "seeded-rand",
+			fixture: "seededrand",
+			want: []string{
+				"bad.go:9:seeded-rand",
+				"bad.go:10:seeded-rand",
+				"bad.go:17:seeded-rand",
+				"bad.go:20:seeded-rand",
+				// The directive two lines above the call in ignored.go is
+				// out of range: suppression is same-line or line-above only.
+				"ignored.go:10:seeded-rand",
+			},
+		},
+		{
+			name:    "wallclock",
+			fixture: "wallclock",
+			want: []string{
+				"bad.go:9:wallclock",
+				"bad.go:13:wallclock",
+				"bad.go:17:wallclock",
+			},
+		},
+		{
+			name:    "wallclock-allowlisted",
+			fixture: "wallclock",
+			config: func(c *Config) {
+				c.Checks = []string{"wallclock"}
+				c.WallclockAllow = append(c.WallclockAllow, "cosmo/internal/lint/testdata/src/wallclock")
+			},
+			want: nil,
+		},
+		{
+			name:    "mutex-hygiene",
+			fixture: "mutexhygiene",
+			want: []string{
+				"bad.go:13:mutex-hygiene",
+				"bad.go:17:mutex-hygiene",
+				"bad.go:25:mutex-hygiene",
+				"bad.go:35:mutex-hygiene",
+			},
+		},
+		{
+			name:    "unbounded-append",
+			fixture: "unboundedappend",
+			config: func(c *Config) {
+				c.Checks = []string{"unbounded-append"}
+				c.ServingPaths = []string{"cosmo/internal/lint/testdata/src/unboundedappend"}
+			},
+			want: []string{
+				"bad.go:16:unbounded-append",
+				"bad.go:22:unbounded-append",
+				"bad.go:26:unbounded-append",
+			},
+		},
+		{
+			name:    "unbounded-append-outside-serving",
+			fixture: "unboundedappend",
+			config: func(c *Config) {
+				c.Checks = []string{"unbounded-append"}
+				c.ServingPaths = nil // not a serving package: check is silent
+			},
+			want: nil,
+		},
+		{
+			name:    "dropped-error",
+			fixture: "droppederror",
+			want: []string{
+				"bad.go:12:dropped-error",
+				"bad.go:16:dropped-error",
+				"bad.go:20:dropped-error",
+			},
+		},
+		{
+			name:    "lint-ignore-directive-validation",
+			fixture: "directives",
+			want: []string{
+				// Malformed directives are findings and suppress nothing.
+				"bad.go:8:lint-ignore",
+				"bad.go:9:dropped-error",
+				"bad.go:11:lint-ignore",
+				"bad.go:12:dropped-error",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			cfg := DefaultConfig()
+			if tc.config != nil {
+				tc.config(&cfg)
+			} else {
+				// Default: isolate the check named by the case when it is a
+				// real check name.
+				for _, c := range AllChecks() {
+					if c.Name == tc.name {
+						cfg.Checks = []string{tc.name}
+					}
+				}
+			}
+			findings := Run([]*Package{pkg}, cfg)
+			if g := got(findings); !equal(g, tc.want) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", g, tc.want)
+			}
+		})
+	}
+}
+
+// TestFindingString pins the canonical rendering the CI log greps for.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/serving/cache.go", Line: 42, Col: 3, Check: "unbounded-append", Message: "grows"}
+	want := "internal/serving/cache.go:42: [unbounded-append] grows"
+	if f.String() != want {
+		t.Errorf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+// TestFindingJSON pins the machine-readable shape behind -json.
+func TestFindingJSON(t *testing.T) {
+	data, err := json.Marshal(Finding{File: "a.go", Line: 1, Col: 2, Check: "wallclock", Message: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a.go","line":1,"col":2,"check":"wallclock","message":"m"}`
+	if string(data) != want {
+		t.Errorf("JSON = %s, want %s", data, want)
+	}
+}
+
+// TestCheckRegistry guards the shipped check set: five invariant checks,
+// deterministic order, non-empty docs.
+func TestCheckRegistry(t *testing.T) {
+	want := []string{"seeded-rand", "wallclock", "mutex-hygiene", "unbounded-append", "dropped-error"}
+	checks := AllChecks()
+	if len(checks) != len(want) {
+		t.Fatalf("got %d checks, want %d", len(checks), len(want))
+	}
+	for i, c := range checks {
+		if c.Name != want[i] {
+			t.Errorf("check %d = %q, want %q", i, c.Name, want[i])
+		}
+		if c.Doc == "" || c.Run == nil {
+			t.Errorf("check %q missing doc or run func", c.Name)
+		}
+	}
+}
+
+// TestModuleLintClean holds the main tree to its own standard: the
+// analyzer must exit clean over every package in the module. This is
+// the same gate CI runs via `go run ./cmd/cosmo-lint ./...`.
+func TestModuleLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	l := fixtureLoader(t)
+	loaderMu.Lock()
+	pkgs, err := l.LoadAll()
+	loaderMu.Unlock()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	findings := Run(pkgs, DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("cosmo/internal/serving")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	moduleRoot string
+}
+
+// relPath renders a file position relative to the module root so
+// findings are stable regardless of where the tree is checked out.
+func (p *Package) relPath(filename string) string {
+	if rel, err := filepath.Rel(p.moduleRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// Loader parses and type-checks module packages using only the
+// standard library. Imports inside the module resolve to source
+// directories under the module root; everything else (the stdlib)
+// resolves through go/importer's source importer. Test files are not
+// loaded: the invariants guard production code, and tests legitimately
+// use fixed ad-hoc seeds and wall clocks.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // memoized by absolute dir
+	loading map[string]bool     // import-cycle guard
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot
+// (a directory containing go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// readModulePath extracts the module path from the first "module" line
+// of a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			path := strings.TrimSpace(rest)
+			if path != "" {
+				return strings.Trim(path, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}
+
+// LoadAll loads every package in the module, in deterministic
+// directory order, skipping testdata, hidden, and VCS directories.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir (memoized).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	importPath := l.importPathFor(abs)
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", abs)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*moduleImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:       importPath,
+		Dir:        abs,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		moduleRoot: l.ModuleRoot,
+	}
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// importPathFor maps an absolute directory under the module root to
+// its import path.
+func (l *Loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// moduleImporter resolves module-local import paths from source and
+// delegates everything else to the stdlib source importer.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,22 @@
+package droppederror
+
+import "errors"
+
+// Known-bad: errors silently discarded.
+
+func fallible() error { return errors.New("boom") }
+
+func twoValued() (int, error) { return 0, errors.New("boom") }
+
+func bareStatement() {
+	fallible() // line 12: finding
+}
+
+func blankAssign() {
+	_ = fallible() // line 16: finding
+}
+
+func blankTuple() int {
+	v, _ := twoValued() // line 20: finding
+	return v
+}

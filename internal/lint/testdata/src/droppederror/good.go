@@ -1,0 +1,20 @@
+package droppederror
+
+// Known-good: errors handled or propagated; non-error blanks are fine.
+
+func okBool() (int, bool) { return 1, true }
+
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	v, err := twoValued()
+	if err != nil {
+		return err
+	}
+	_ = v // blank of a non-error value is not a drop
+	n, _ := okBool()
+	return use(n)
+}
+
+func use(int) error { return nil }

@@ -1,0 +1,7 @@
+package droppederror
+
+func bestEffort() {
+	//cosmo:lint-ignore dropped-error best-effort notification, failure is unactionable
+	fallible()
+	_ = fallible() //cosmo:lint-ignore dropped-error best-effort notification, failure is unactionable
+}

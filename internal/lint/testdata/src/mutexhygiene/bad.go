@@ -1,0 +1,43 @@
+package mutexhygiene
+
+import "sync"
+
+// Known-bad: by-value mutex copies and non-deferred unlocks on
+// multi-return functions.
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c Counter) Get() int { // line 13: finding (receiver by value)
+	return c.n
+}
+
+func readBoth(a Counter, b *Counter) int { // line 17: finding (param a by value)
+	return a.n + b.n
+}
+
+type wrapped struct {
+	inner Counter // embeds the mutex transitively
+}
+
+func consume(w wrapped) int { // line 25: finding (transitive mutex by value)
+	return w.inner.n
+}
+
+type Registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (r *Registry) Lookup(k string) (int, bool) {
+	r.mu.RLock() // line 35: finding (2 returns, no defer r.mu.RUnlock())
+	v, ok := r.items[k]
+	if !ok {
+		r.mu.RUnlock()
+		return 0, false
+	}
+	r.mu.RUnlock()
+	return v, true
+}

@@ -1,0 +1,33 @@
+package mutexhygiene
+
+import "sync"
+
+// Known-good: pointer receivers and deferred unlocks.
+
+type Safe struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Safe) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *Safe) GetOr(def int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return def
+	}
+	return s.n
+}
+
+// Single return path with explicit unlock is fine: there is no early
+// return to leak through.
+func (s *Safe) Bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+package mutexhygiene
+
+import "sync"
+
+type handoff struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Lock intentionally escapes this function: the matching unlock runs in
+// release(). The directive documents the ownership transfer.
+func (h *handoff) acquire(fast bool) int {
+	h.mu.Lock() //cosmo:lint-ignore mutex-hygiene lock ownership transfers to release()
+	if fast {
+		return h.v
+	}
+	return h.v * 2
+}
+
+func (h *handoff) release() {
+	h.mu.Unlock()
+}

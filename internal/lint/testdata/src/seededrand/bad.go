@@ -1,0 +1,20 @@
+package seededrand
+
+import "math/rand"
+
+// Known-bad: package-level math/rand functions draw from the global,
+// unseeded generator.
+
+func shuffleDeck(n int) []int {
+	xs := rand.Perm(n)                     // line 9: finding
+	rand.Shuffle(len(xs), func(i, j int) { // line 10: finding
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	return xs
+}
+
+func draw() float64 {
+	return rand.Float64() // line 17: finding
+}
+
+var pick = rand.Intn // line 20: finding (reference, not call)

@@ -1,0 +1,23 @@
+package seededrand
+
+import "math/rand"
+
+// Known-good: all randomness flows from an injected, seeded *rand.Rand.
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func drawSeeded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func shuffleSeeded(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) {
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.1, 1, 1<<20)
+}

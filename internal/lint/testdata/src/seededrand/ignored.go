@@ -1,0 +1,20 @@
+package seededrand
+
+import "math/rand"
+
+// Suppression: a reasoned directive on the line above or the same line
+// silences the finding.
+
+//cosmo:lint-ignore seeded-rand retry jitter need not be reproducible
+func jitterAbove() float64 {
+	return rand.Float64() // suppressed only if directive covers call line — it does not; see jitterSameLine
+}
+
+func jitterSameLine() float64 {
+	return rand.Float64() //cosmo:lint-ignore seeded-rand retry jitter need not be reproducible
+}
+
+func jitterLineAbove() float64 {
+	//cosmo:lint-ignore seeded-rand retry jitter need not be reproducible
+	return rand.Float64()
+}

@@ -1,0 +1,27 @@
+package unboundedappend
+
+import "sync"
+
+// Known-bad: long-lived serving state that only ever grows.
+
+type Store struct {
+	mu   sync.Mutex
+	log  []string
+	seen map[string]int
+}
+
+func (s *Store) Append(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, v) // line 16: finding
+}
+
+func (s *Store) Mark(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[k]++ // line 22: finding (map write)
+}
+
+func (s *Store) Record(k string, v int) {
+	s.seen[k] = v // line 26: finding (map write)
+}

@@ -1,0 +1,42 @@
+package unboundedappend
+
+// Known-good: every growth site shares its method with cap logic.
+
+type Bounded struct {
+	log  []string
+	seen map[string]int
+	max  int
+}
+
+func (b *Bounded) Append(v string) {
+	b.log = append(b.log, v)
+	if len(b.log) > b.max {
+		b.log = b.log[len(b.log)-b.max:]
+	}
+}
+
+func (b *Bounded) Mark(k string) {
+	if len(b.seen) >= b.max {
+		for old := range b.seen {
+			delete(b.seen, old)
+			break
+		}
+	}
+	b.seen[k]++
+}
+
+// Rebuild: wholesale reassignment resets the field, so the loop's
+// growth is bounded by the input.
+func (b *Bounded) Reset(keys []string) {
+	b.seen = make(map[string]int, len(keys))
+	for _, k := range keys {
+		b.seen[k] = 0
+	}
+}
+
+// Local slices are not long-lived state.
+func (b *Bounded) Snapshot() []string {
+	var out []string
+	out = append(out, b.log...)
+	return out
+}

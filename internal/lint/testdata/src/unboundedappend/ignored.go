@@ -1,0 +1,10 @@
+package unboundedappend
+
+type audit struct {
+	trail []string
+}
+
+func (a *audit) record(line string) {
+	//cosmo:lint-ignore unbounded-append audit trail is flushed and truncated by the caller each epoch
+	a.trail = append(a.trail, line)
+}

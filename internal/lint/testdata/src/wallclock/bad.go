@@ -1,0 +1,18 @@
+package wallclock
+
+import "time"
+
+// Known-bad: wall-clock reads in (what the config treats as) a
+// deterministic package.
+
+func stamp() time.Time {
+	return time.Now() // line 9: finding
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // line 13: finding
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // line 17: finding
+}

@@ -1,0 +1,8 @@
+package wallclock
+
+import "time"
+
+func debugStamp() time.Time {
+	//cosmo:lint-ignore wallclock debug-only timestamp, never feeds pipeline output
+	return time.Now()
+}

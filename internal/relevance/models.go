@@ -102,7 +102,7 @@ func NewModel(cfg ModelConfig) *Model {
 
 func tokBucket(tok string) int {
 	h := fnv.New32a()
-	h.Write([]byte(tok))
+	h.Write([]byte(tok)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
 	return int(h.Sum32() % tokBuckets)
 }
 

@@ -62,6 +62,10 @@ type DeployConfig struct {
 	CacheShards int
 	// QueueCap bounds the batch miss queue (DefaultQueueCap when 0).
 	QueueCap int
+	// FeatureStoreCap bounds the feature store (DefaultFeatureStoreCap
+	// when 0, unlimited when negative). Insertions past the cap evict
+	// the oldest-inserted feature.
+	FeatureStoreCap int
 }
 
 // NewDeployment builds a deployment around the initial model.
@@ -69,13 +73,18 @@ func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
 	if cfg.DailyCacheCap <= 0 {
 		cfg.DailyCacheCap = 1024
 	}
+	if cfg.FeatureStoreCap == 0 {
+		cfg.FeatureStoreCap = DefaultFeatureStoreCap
+	} else if cfg.FeatureStoreCap < 0 {
+		cfg.FeatureStoreCap = 0 // explicit opt-out: unlimited
+	}
 	return &Deployment{
 		Cache: NewAsyncCacheWithConfig(CacheConfig{
 			DailyCap: cfg.DailyCacheCap,
 			Shards:   cfg.CacheShards,
 			QueueCap: cfg.QueueCap,
 		}),
-		Store:        NewFeatureStore(),
+		Store:        NewFeatureStoreWithCap(cfg.FeatureStoreCap),
 		Clock:        RealClock{},
 		responder:    responder,
 		version:      1,

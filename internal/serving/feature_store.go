@@ -37,23 +37,90 @@ type Feature struct {
 	CreatedAt time.Time
 }
 
+// DefaultFeatureStoreCap bounds the deployment's feature store. A
+// long-running server sees an unbounded stream of distinct queries;
+// without a cap the store is a slow memory leak (the PR 1 bug class).
+const DefaultFeatureStoreCap = 1 << 17
+
 // FeatureStore stores structured features keyed by query; safe for
-// concurrent use.
+// concurrent use. When built with a capacity, inserting past it evicts
+// the oldest-inserted entry (FIFO), keeping resident memory O(cap)
+// regardless of how many distinct queries the deployment serves.
 type FeatureStore struct {
 	mu       sync.RWMutex
 	features map[string]Feature
+	cap      int // 0 = unlimited
+	// order is the FIFO of live inserts. Entries whose seq no longer
+	// matches seq[key] are stale (the key was dropped and re-inserted)
+	// and are skipped lazily; compaction keeps the slice O(cap).
+	order   []fsEntry
+	seq     map[string]uint64
+	nextSeq uint64
 }
 
-// NewFeatureStore returns an empty store.
+type fsEntry struct {
+	key string
+	seq uint64
+}
+
+// NewFeatureStore returns an empty, unbounded store (pipeline and
+// experiment use, where the query universe is finite and known).
 func NewFeatureStore() *FeatureStore {
-	return &FeatureStore{features: map[string]Feature{}}
+	return NewFeatureStoreWithCap(0)
 }
 
-// Put inserts or replaces the feature for a query.
+// NewFeatureStoreWithCap returns a store bounded to capacity entries
+// (0 = unlimited).
+func NewFeatureStoreWithCap(capacity int) *FeatureStore {
+	return &FeatureStore{
+		features: map[string]Feature{},
+		cap:      capacity,
+		seq:      map[string]uint64{},
+	}
+}
+
+// Put inserts or replaces the feature for a query, evicting the
+// oldest-inserted entries when a capacity is set and exceeded.
 func (s *FeatureStore) Put(f Feature) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.features[f.Query]; !exists {
+		if s.cap > 0 {
+			for len(s.features) >= s.cap && len(s.order) > 0 {
+				head := s.order[0]
+				s.order = s.order[1:]
+				if s.seq[head.key] != head.seq {
+					continue // stale: key was dropped and re-inserted later
+				}
+				delete(s.features, head.key)
+				delete(s.seq, head.key)
+			}
+		}
+		s.nextSeq++
+		s.order = append(s.order, fsEntry{key: f.Query, seq: s.nextSeq})
+		s.seq[f.Query] = s.nextSeq
+		if len(s.order) > 2*len(s.features)+16 {
+			s.compactOrderLocked()
+		}
+	}
 	s.features[f.Query] = f
-	s.mu.Unlock()
+}
+
+// compactOrderLocked drops stale FIFO entries (dropped or re-inserted
+// keys) so order stays proportional to the live set. Callers hold mu.
+func (s *FeatureStore) compactOrderLocked() {
+	live := s.order[:0]
+	for _, e := range s.order {
+		if s.seq[e.key] == e.seq {
+			live = append(live, e)
+		}
+	}
+	// Release the tail so evicted keys don't pin memory.
+	tail := s.order[len(live):]
+	for i := range tail {
+		tail[i] = fsEntry{}
+	}
+	s.order = live
 }
 
 // Get fetches the feature for a query.
@@ -92,8 +159,12 @@ func (s *FeatureStore) DropVersionsBefore(v int) int {
 	for q, f := range s.features {
 		if f.Version < v {
 			delete(s.features, q)
+			delete(s.seq, q)
 			dropped++
 		}
+	}
+	if dropped > 0 {
+		s.compactOrderLocked()
 	}
 	return dropped
 }

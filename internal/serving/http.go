@@ -25,18 +25,20 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		if !ok {
 			w.WriteHeader(http.StatusAccepted)
+			//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
 			_ = json.NewEncoder(w).Encode(map[string]string{
 				"status": "queued",
 				"query":  q,
 			})
 			return
 		}
-		_ = json.NewEncoder(w).Encode(f)
+		_ = json.NewEncoder(w).Encode(f) //cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := d.LatencyPercentiles()
 		stats := d.Cache.Stats()
 		w.Header().Set("Content-Type", "application/json")
+		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"cache":      stats,
 			"hit_rate":   stats.HitRate(),
@@ -47,7 +49,7 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok"))
+		_, _ = w.Write([]byte("ok")) //cosmo:lint-ignore dropped-error best-effort liveness response; a write failure means the client is gone
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		hist := d.LatencySnapshot()

@@ -50,6 +50,64 @@ func TestFeatureStoreBasics(t *testing.T) {
 	}
 }
 
+func TestFeatureStoreCapEvictsOldest(t *testing.T) {
+	s := NewFeatureStoreWithCap(3)
+	for i, q := range []string{"a", "b", "c"} {
+		s.Put(Feature{Query: q, Version: i})
+	}
+	// Re-putting an existing key must not evict anything.
+	s.Put(Feature{Query: "a", Version: 10})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	// Inserting a fourth key evicts the oldest insert ("a").
+	s.Put(Feature{Query: "d", Version: 4})
+	if s.Len() != 3 {
+		t.Fatalf("len after overflow = %d, want 3", s.Len())
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("oldest entry should have been evicted")
+	}
+	for _, q := range []string{"b", "c", "d"} {
+		if _, ok := s.Get(q); !ok {
+			t.Errorf("entry %q should survive", q)
+		}
+	}
+	// A dropped-then-reinserted key gets a fresh FIFO position: after
+	// reinserting "b" it is newer than "c" and must outlive it.
+	if n := s.DropVersionsBefore(2); n != 1 { // drops b (version 1)
+		t.Fatalf("dropped = %d, want 1", n)
+	}
+	s.Put(Feature{Query: "b", Version: 5})
+	s.Put(Feature{Query: "e", Version: 6}) // evicts c, the oldest live insert
+	if _, ok := s.Get("c"); ok {
+		t.Error("c should have been evicted before the re-inserted b")
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Error("re-inserted b should survive")
+	}
+}
+
+func TestFeatureStoreCapManyInserts(t *testing.T) {
+	// Sustained distinct inserts stay at the cap and keep the FIFO
+	// bookkeeping compacted rather than growing with total inserts.
+	s := NewFeatureStoreWithCap(8)
+	for i := 0; i < 10000; i++ {
+		s.Put(Feature{Query: fmt.Sprintf("q%d", i), Version: i})
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len = %d, want 8", s.Len())
+	}
+	if n := len(s.order); n > 2*8+16 {
+		t.Errorf("order slice grew to %d entries; compaction is not bounding it", n)
+	}
+	for i := 9992; i < 10000; i++ {
+		if _, ok := s.Get(fmt.Sprintf("q%d", i)); !ok {
+			t.Errorf("newest entry q%d missing", i)
+		}
+	}
+}
+
 func TestAsyncCacheTwoLayers(t *testing.T) {
 	c := NewAsyncCache(2)
 	c.PreloadYearly([]Feature{{Query: "yearly-hot"}})

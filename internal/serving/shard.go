@@ -141,6 +141,7 @@ func (s *cacheShard) drain(n int) []string {
 
 func (s *cacheShard) preloadYearly(f Feature) {
 	s.mu.Lock()
+	//cosmo:lint-ignore unbounded-append yearly layer is bounded by the refresh preload set and rebuilt wholesale by resetYearly
 	s.yearly[f.Query] = f
 	s.mu.Unlock()
 }
