@@ -26,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (see -list)")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = largest laptop-scale run)")
+	workers := flag.Int("workers", 0, "worker-pool size for the pipeline's parallel stages (0 = GOMAXPROCS); never changes results")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +36,7 @@ func main() {
 		return
 	}
 	r := experiments.NewRunner(os.Stdout, *scale)
+	r.Workers = *workers
 	switch {
 	case *all:
 		if err := r.RunAll(); err != nil {

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	cosmo-pipeline [-seed N] [-events N] [-budget N] [-out kg.gob]
-//	               [-jsonl kg.jsonl] [-tsv kg.tsv]
+//	cosmo-pipeline [-seed N] [-events N] [-budget N] [-workers N]
+//	               [-out kg.gob] [-jsonl kg.jsonl] [-tsv kg.tsv]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	events := flag.Int("events", 20000, "behavior events per type (co-buy and search-buy)")
 	budget := flag.Int("budget", 3000, "annotation budget")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel stages (0 = GOMAXPROCS); never changes the output")
 	out := flag.String("out", "", "write the knowledge graph (gob) to this path")
 	jsonl := flag.String("jsonl", "", "write the knowledge graph (JSON lines) to this path")
 	tsv := flag.String("tsv", "", "write the knowledge graph (TSV) to this path")
@@ -37,6 +38,7 @@ func main() {
 	cfg.Behavior.CoBuyEvents = *events
 	cfg.Behavior.SearchEvents = *events
 	cfg.AnnotationBudget = *budget
+	cfg.Workers = *workers
 	cfg.Logf = log.Printf
 
 	res, err := core.Run(cfg)

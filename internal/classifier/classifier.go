@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"cosmo/internal/know"
+	"cosmo/internal/parallel"
 	"cosmo/internal/textproc"
 )
 
@@ -222,14 +223,20 @@ func TrainCritic(dim int, data []Labeled, cfg TrainConfig) *Critic {
 
 // Score fills PlausibleScore and TypicalScore on each candidate.
 func (c *Critic) Score(cands []know.Candidate) []know.Candidate {
-	out := make([]know.Candidate, len(cands))
-	for i, cd := range cands {
+	return c.ScoreParallel(cands, 1)
+}
+
+// ScoreParallel scores across the given worker count (<= 0 means
+// GOMAXPROCS). Scoring is pure per candidate — featurization and the
+// logistic heads only read trained state — so the output is identical
+// to Score for every worker count.
+func (c *Critic) ScoreParallel(cands []know.Candidate, workers int) []know.Candidate {
+	return parallel.Map(workers, cands, func(i int, cd know.Candidate) know.Candidate {
 		x := c.Feat.Features(cd)
 		cd.PlausibleScore = c.Plausible.Prob(x)
 		cd.TypicalScore = c.Typical.Prob(x)
-		out[i] = cd
-	}
-	return out
+		return cd
+	})
 }
 
 // Evaluate measures head accuracy and AUC on labeled data.

@@ -19,6 +19,7 @@ import (
 	"cosmo/internal/kg"
 	"cosmo/internal/know"
 	"cosmo/internal/llm"
+	"cosmo/internal/parallel"
 	"cosmo/internal/sampling"
 )
 
@@ -53,6 +54,14 @@ type Config struct {
 	// inflection ("walk the dog" / "walking the dogs"), the paper's tail
 	// canonicalization step.
 	CanonicalizeTails bool
+
+	// Workers bounds the fan-out of the embarrassingly parallel stages
+	// (generation, filtering, critic scoring, KG expansion); <= 0 means
+	// GOMAXPROCS. The worker count never changes the output: every
+	// parallel stage draws randomness from per-item derived seeds and
+	// merges results in input order (see DESIGN.md, "Determinism under
+	// parallelism").
+	Workers int
 
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
@@ -130,14 +139,20 @@ func Run(cfg Config) (*Result, error) {
 	logf("sampled: %d co-buy pairs, %d search-buy pairs",
 		len(res.SampledCoBuys), len(res.SampledSearchBuys))
 
-	// Stage 2: QA-prompted generation (§3.2.2).
+	// Stage 2: QA-prompted generation (§3.2.2), fanned out across
+	// workers; each behavior draws from its own derived seed stream.
 	teacher := llm.NewTeacher(res.Catalog, cfg.Teacher)
-	cands := generate(res, teacher, cfg.GenerationsPerBehavior)
+	cands := generate(res, teacher, cfg.GenerationsPerBehavior, cfg.Workers)
 	res.RawCandidates = len(cands)
 	logf("generated %d knowledge candidates", len(cands))
 
-	// Stage 3: coarse-grained filtering (§3.3.1).
-	flt := filter.New(cfg.Filter)
+	// Stage 3: coarse-grained filtering (§3.3.1); per-candidate checks
+	// run across workers against the read-only fitted models.
+	fcfg := cfg.Filter
+	if fcfg.Workers == 0 {
+		fcfg.Workers = cfg.Workers
+	}
+	flt := filter.New(fcfg)
 	kept, _, report := flt.Run(cands)
 	res.Kept = kept
 	res.FilterReport = report
@@ -162,7 +177,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Critic = classifier.TrainCritic(cfg.CriticDim, labeled, cfg.CriticTrain)
-	scored := res.Critic.Score(kept)
+	scored := res.Critic.ScoreParallel(kept, cfg.Workers)
 
 	// Stage 6: knowledge-graph assembly.
 	res.KG = kg.New()
@@ -215,17 +230,23 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// generate runs the teacher over every sampled behavior.
-func generate(res *Result, teacher *llm.Teacher, perBehavior int) []know.Candidate {
-	var cands []know.Candidate
-	id := 0
-	for _, e := range res.SampledCoBuys {
+// generate runs the teacher over every sampled behavior across workers.
+// Each behavior draws from its own derived random stream (master seed ⊕
+// behavior index via llm.DeriveSeed), so the candidates for one behavior
+// never depend on how many draws other behaviors consumed — the property
+// that makes the fan-out order-independent. Search-buy indices are
+// offset past the co-buy range to keep the streams disjoint. The merge
+// assigns candidate IDs in behavior order, reproducing the sequential
+// numbering for every worker count.
+func generate(res *Result, teacher *llm.Teacher, perBehavior, workers int) []know.Candidate {
+	coGroups := parallel.Map(workers, res.SampledCoBuys, func(i int, e behavior.CoBuyPair) []know.Candidate {
 		pa, _ := res.Catalog.ByID(e.A)
 		pb, _ := res.Catalog.ByID(e.B)
-		for _, g := range teacher.GenerateCoBuy(pa, pb, perBehavior) {
-			id++
-			cands = append(cands, know.Candidate{
-				ID: id, Behavior: know.CoBuy, Domain: pa.Category,
+		gens := teacher.GenerateCoBuyAt(uint64(i), pa, pb, perBehavior)
+		out := make([]know.Candidate, 0, len(gens))
+		for _, g := range gens {
+			out = append(out, know.Candidate{
+				Behavior: know.CoBuy, Domain: pa.Category,
 				ProductA: e.A, ProductB: e.B, TypeA: pa.Type, TypeB: pb.Type,
 				ContextText:     pa.Title + " and " + pb.Title,
 				Text:            g.Text,
@@ -233,19 +254,34 @@ func generate(res *Result, teacher *llm.Teacher, perBehavior int) []know.Candida
 				PairIntentional: e.Intentional,
 			})
 		}
-	}
-	for _, e := range res.SampledSearchBuys {
+		return out
+	})
+	base := uint64(len(res.SampledCoBuys))
+	sbGroups := parallel.Map(workers, res.SampledSearchBuys, func(i int, e behavior.SearchBuyPair) []know.Candidate {
 		p, _ := res.Catalog.ByID(e.ProductID)
-		for _, g := range teacher.GenerateSearchBuy(e.Query, p, perBehavior) {
-			id++
-			cands = append(cands, know.Candidate{
-				ID: id, Behavior: know.SearchBuy, Domain: p.Category,
+		gens := teacher.GenerateSearchBuyAt(base+uint64(i), e.Query, p, perBehavior)
+		out := make([]know.Candidate, 0, len(gens))
+		for _, g := range gens {
+			out = append(out, know.Candidate{
+				Behavior: know.SearchBuy, Domain: p.Category,
 				Query: e.Query, ProductA: e.ProductID, TypeA: p.Type,
 				ContextText:     e.Query + " " + p.Title,
 				Text:            g.Text,
 				Truth:           g.Truth,
 				PairIntentional: e.Intentional,
 			})
+		}
+		return out
+	})
+	var cands []know.Candidate
+	id := 0
+	for _, groups := range [][][]know.Candidate{coGroups, sbGroups} {
+		for _, group := range groups {
+			for _, c := range group {
+				id++
+				c.ID = id
+				cands = append(cands, c)
+			}
 		}
 	}
 	return cands
@@ -279,18 +315,23 @@ func selectForAnnotation(res *Result, kept []know.Candidate, cfg Config) []know.
 
 // expand generates additional assertions with COSMO-LM for every sampled
 // search behavior and admits those whose predicted plausibility passes
-// the threshold.
+// the threshold. Generation and the two prediction-head calls fan out
+// across workers (the trained model is read-only); KG admission is
+// order-sensitive (the graph dedupes edges), so it runs sequentially
+// over the order-preserved groups.
 func expand(res *Result, cfg Config) int {
-	added := 0
-	for _, e := range res.SampledSearchBuys {
+	groups := expandCandidates(res, cfg)
+	return admitExpansion(res, groups)
+}
+
+// expandCandidates computes, in parallel, the threshold-passing expansion
+// candidates per sampled search behavior, in behavior order.
+func expandCandidates(res *Result, cfg Config) [][]know.Candidate {
+	return parallel.Map(cfg.Workers, res.SampledSearchBuys, func(i int, e behavior.SearchBuyPair) []know.Candidate {
 		p, _ := res.Catalog.ByID(e.ProductID)
 		ctx := cosmolm.SearchContext(e.Query, p.Title)
+		var out []know.Candidate
 		for _, g := range res.CosmoLM.Generate(ctx, p.Category, "", cfg.ExpandTopK) {
-			c := know.Candidate{
-				Behavior: know.SearchBuy, Domain: p.Category,
-				Query: e.Query, ProductA: e.ProductID, TypeA: p.Type,
-				Relation: g.Relation, Tail: g.Tail, Text: g.Text,
-			}
 			_, pProb := res.CosmoLM.Predict(instruction.TaskPlausibility,
 				ctx+" | explanation: "+g.Text)
 			_, tProb := res.CosmoLM.Predict(instruction.TaskTypicality,
@@ -298,8 +339,23 @@ func expand(res *Result, cfg Config) int {
 			if pProb <= cfg.PlausibilityThreshold {
 				continue
 			}
-			c.PlausibleScore = pProb
-			c.TypicalScore = tProb
+			out = append(out, know.Candidate{
+				Behavior: know.SearchBuy, Domain: p.Category,
+				Query: e.Query, ProductA: e.ProductID, TypeA: p.Type,
+				Relation: g.Relation, Tail: g.Tail, Text: g.Text,
+				PlausibleScore: pProb, TypicalScore: tProb,
+			})
+		}
+		return out
+	})
+}
+
+// admitExpansion admits expansion candidates into the KG in behavior
+// order and returns the number of edges added.
+func admitExpansion(res *Result, groups [][]know.Candidate) int {
+	added := 0
+	for _, group := range groups {
+		for _, c := range group {
 			before := res.KG.NumEdges()
 			if err := res.KG.AddAssertion(c); err == nil && res.KG.NumEdges() > before {
 				added += res.KG.NumEdges() - before

@@ -1,10 +1,8 @@
 package cosmolm
 
 import (
-	"runtime"
-	"sync"
-
 	"cosmo/internal/catalog"
+	"cosmo/internal/parallel"
 	"cosmo/internal/relations"
 )
 
@@ -19,33 +17,17 @@ type BatchRequest struct {
 // GenerateBatch runs many generation requests concurrently — the shape
 // of the serving deployment's batch processor, where daily cache misses
 // are processed together rather than inline. Results align with the
-// request slice. The model is read-only during generation, so requests
-// fan out across GOMAXPROCS workers.
+// request slice (out[i] answers reqs[i] for every worker count). The
+// model is read-only during generation, so requests fan out across
+// GOMAXPROCS workers on the shared pipeline pool.
 func (m *Model) GenerateBatch(reqs []BatchRequest) [][]Generated {
-	out := make([][]Generated, len(reqs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	if workers < 1 {
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				r := reqs[i]
-				out[i] = m.Generate(r.Context, r.Domain, r.Relation, r.K)
-			}
-		}()
-	}
-	for i := range reqs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return m.GenerateBatchWorkers(reqs, 0)
+}
+
+// GenerateBatchWorkers is GenerateBatch with an explicit worker bound
+// (<= 0 means GOMAXPROCS).
+func (m *Model) GenerateBatchWorkers(reqs []BatchRequest, workers int) [][]Generated {
+	return parallel.Map(workers, reqs, func(i int, r BatchRequest) []Generated {
+		return m.Generate(r.Context, r.Domain, r.Relation, r.K)
+	})
 }

@@ -30,6 +30,43 @@ func TestGenerateBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestGenerateBatchWorkersEquivalence: out[i] must answer reqs[i] regardless of
+// the worker count — heterogeneous requests at every index, compared
+// across worker counts and against sequential generation.
+func TestGenerateBatchWorkersEquivalence(t *testing.T) {
+	f := getFixture(t)
+	types := []string{"air mattress", "dog leash", "smart watch", "tent", "fountain pen"}
+	var reqs []BatchRequest
+	for i := 0; i < 40; i++ {
+		tn := types[i%len(types)]
+		p := f.cat.OfType(tn)[0]
+		reqs = append(reqs, BatchRequest{
+			Context: SearchContext(tn, p.Title), Domain: p.Category, K: 1 + i%3,
+		})
+	}
+	want := make([][]Generated, len(reqs))
+	for i, r := range reqs {
+		want[i] = f.model.Generate(r.Context, r.Domain, r.Relation, r.K)
+	}
+	for _, workers := range []int{1, 2, 7, 40} {
+		got := f.model.GenerateBatchWorkers(reqs, workers)
+		if len(got) != len(reqs) {
+			t.Fatalf("workers=%d: %d results for %d requests", workers, len(got), len(reqs))
+		}
+		for i := range reqs {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d request %d: %d vs %d generations",
+					workers, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: result index %d not stable", workers, i)
+				}
+			}
+		}
+	}
+}
+
 func TestGenerateBatchEmpty(t *testing.T) {
 	f := getFixture(t)
 	if out := f.model.GenerateBatch(nil); len(out) != 0 {

@@ -8,7 +8,6 @@
 package embedding
 
 import (
-	"hash/fnv"
 	"math"
 
 	"cosmo/internal/textproc"
@@ -30,11 +29,41 @@ func New(dim int) *Model {
 // Dim returns the embedding dimension.
 func (m *Model) Dim() int { return m.dim }
 
-// hashFeature maps a feature string to (index, sign).
-func (m *Model) hashFeature(f string) (int, float64) {
-	h := fnv.New64a()
-	h.Write([]byte(f)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
-	v := h.Sum64()
+// Inlined FNV-1a (hash/fnv semantics, verified by TestHashCompat): the
+// hot path folds feature bytes into a running state instead of
+// allocating a hash.Hash64 and a concatenated feature string per
+// feature. The prefix states below are the hash after consuming "w:",
+// "b:", "c:" — continuing from them is byte-identical to hashing the
+// concatenated string.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+var (
+	wordPrefix   = fnvString(fnvOffset64, "w:")
+	bigramPrefix = fnvString(fnvOffset64, "b:")
+	charPrefix   = fnvString(fnvOffset64, "c:")
+)
+
+// fnvString folds s into FNV-1a state h.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvByte folds one byte into FNV-1a state h.
+func fnvByte(h uint64, c byte) uint64 {
+	h ^= uint64(c)
+	h *= fnvPrime64
+	return h
+}
+
+// slot maps a finished feature hash to (index, sign).
+func (m *Model) slot(v uint64) (int, float64) {
 	idx := int(v % uint64(m.dim))
 	sign := 1.0
 	if (v>>32)&1 == 1 {
@@ -43,22 +72,39 @@ func (m *Model) hashFeature(f string) (int, float64) {
 	return idx, sign
 }
 
+// padByte reads position p of the virtual padded token "^" + t + "$"
+// without materializing it.
+func padByte(t string, p int) byte {
+	switch {
+	case p == 0:
+		return '^'
+	case p == len(t)+1:
+		return '$'
+	default:
+		return t[p-1]
+	}
+}
+
 // Embed returns the L2-normalized embedding of s. The zero vector is
 // returned for blank input.
 func (m *Model) Embed(s string) []float64 {
 	vec := make([]float64, m.dim)
 	toks := textproc.StemAll(textproc.Tokenize(s))
 	for i, t := range toks {
-		idx, sign := m.hashFeature("w:" + t)
+		idx, sign := m.slot(fnvString(wordPrefix, t))
 		vec[idx] += sign * 1.0
 		if i+1 < len(toks) {
-			idx, sign = m.hashFeature("b:" + t + "_" + toks[i+1])
+			idx, sign = m.slot(fnvString(fnvByte(fnvString(bigramPrefix, t), '_'), toks[i+1]))
 			vec[idx] += sign * 0.5
 		}
-		// Character trigrams of each token for robustness to morphology.
-		padded := "^" + t + "$"
-		for j := 0; j+3 <= len(padded); j++ {
-			idx, sign = m.hashFeature("c:" + padded[j:j+3])
+		// Character trigrams of the padded token ("^" + t + "$") for
+		// robustness to morphology, hashed in place over the token bytes.
+		for j := 0; j+3 <= len(t)+2; j++ {
+			h := charPrefix
+			h = fnvByte(h, padByte(t, j))
+			h = fnvByte(h, padByte(t, j+1))
+			h = fnvByte(h, padByte(t, j+2))
+			idx, sign = m.slot(h)
 			vec[idx] += sign * 0.25
 		}
 	}
@@ -99,9 +145,16 @@ func Cosine(a, b []float64) float64 {
 }
 
 // Similarity embeds both strings and returns their cosine similarity —
-// the paper's d(k, c) = cos(E(k), E(c)) from Eq. 1.
+// the paper's d(k, c) = cos(E(k), E(c)) from Eq. 1. Embed L2-normalizes
+// (and returns the zero vector for blank input), so a plain dot product
+// is the cosine and the per-vector norm recomputation is skipped.
 func (m *Model) Similarity(a, b string) float64 {
-	return Cosine(m.Embed(a), m.Embed(b))
+	va, vb := m.Embed(a), m.Embed(b)
+	dot := 0.0
+	for i := range va {
+		dot += va[i] * vb[i]
+	}
+	return dot
 }
 
 // Average returns the element-wise mean of the vectors, normalized;

@@ -1,0 +1,113 @@
+package embedding
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"cosmo/internal/textproc"
+)
+
+// refHash is the original allocation-heavy feature hash the inlined
+// FNV-1a path must reproduce byte for byte.
+func refHash(dim int, f string) (int, float64) {
+	h := fnv.New64a()
+	h.Write([]byte(f)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
+	v := h.Sum64()
+	idx := int(v % uint64(dim))
+	sign := 1.0
+	if (v>>32)&1 == 1 {
+		sign = -1.0
+	}
+	return idx, sign
+}
+
+// refEmbed is the original Embed implementation, kept as the
+// compatibility oracle: the fast path must not shift any embedding, or
+// calibrated downstream thresholds (the Eq. 1 similarity filter) move.
+func refEmbed(m *Model, s string) []float64 {
+	vec := make([]float64, m.dim)
+	toks := textproc.StemAll(textproc.Tokenize(s))
+	for i, t := range toks {
+		idx, sign := refHash(m.dim, "w:"+t)
+		vec[idx] += sign * 1.0
+		if i+1 < len(toks) {
+			idx, sign = refHash(m.dim, "b:"+t+"_"+toks[i+1])
+			vec[idx] += sign * 0.5
+		}
+		padded := "^" + t + "$"
+		for j := 0; j+3 <= len(padded); j++ {
+			idx, sign = refHash(m.dim, "c:"+padded[j:j+3])
+			vec[idx] += sign * 0.25
+		}
+	}
+	normalize(vec)
+	return vec
+}
+
+func TestHashCompat(t *testing.T) {
+	m := New(256)
+	inputs := []string{
+		"camping air mattress for two people",
+		"used for walking the dog",
+		"a", "ab", "abc",
+		"the quick brown fox jumps over the lazy dog",
+		"wireless noise cancelling headphones",
+		"",
+		"    spaced    out    tokens   ",
+	}
+	for _, in := range inputs {
+		got := m.Embed(in)
+		want := refEmbed(m, in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Embed(%q)[%d] = %v, want %v (fast FNV path diverged)", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSimilarityMatchesCosine(t *testing.T) {
+	m := New(128)
+	pairs := [][2]string{
+		{"camping air mattress", "air mattress for camping"},
+		{"used for walking the dog", "wireless headphones"},
+		{"", "anything"},
+		{"same text", "same text"},
+	}
+	for _, p := range pairs {
+		fast := m.Similarity(p[0], p[1])
+		ref := Cosine(m.Embed(p[0]), m.Embed(p[1]))
+		if math.Abs(fast-ref) > 1e-12 {
+			t.Errorf("Similarity(%q, %q) = %v, Cosine = %v", p[0], p[1], fast, ref)
+		}
+	}
+}
+
+// BenchmarkEmbedVsReference demonstrates the allocs/op drop from
+// inlining FNV-1a (no hash.Hash64 allocation, no feature-string
+// concatenation); compare the fast and reference sub-benchmarks.
+func BenchmarkEmbedVsReference(b *testing.B) {
+	m := New(256)
+	const s = "inflatable camping air mattress with built in pump for two people"
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Embed(s)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refEmbed(m, s)
+		}
+	})
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	m := New(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Similarity("camping air mattress for two", "air mattress used for camping trips")
+	}
+}

@@ -27,6 +27,9 @@ type Runner struct {
 	Scale int
 	Seed  int64
 	Out   io.Writer
+	// Workers bounds the pipeline's parallel-stage fan-out (0 =
+	// GOMAXPROCS). The worker count never changes experiment results.
+	Workers int
 
 	mu  sync.Mutex
 	res *core.Result
@@ -59,6 +62,7 @@ func (r *Runner) World() *core.Result {
 	cfg.Behavior.CoBuyEvents = max(8000, 40000/r.Scale)
 	cfg.Behavior.SearchEvents = max(8000, 40000/r.Scale)
 	cfg.AnnotationBudget = max(1500, 6000/r.Scale)
+	cfg.Workers = r.Workers
 	res, err := core.Run(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: pipeline failed: %v", err))

@@ -10,6 +10,7 @@ import (
 
 	"cosmo/internal/embedding"
 	"cosmo/internal/know"
+	"cosmo/internal/parallel"
 	"cosmo/internal/relations"
 	"cosmo/internal/textproc"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	MaxContextSimilarity float64
 	// EmbeddingDim for the similarity model.
 	EmbeddingDim int
+	// Workers bounds the per-candidate fan-out (<= 0 means GOMAXPROCS).
+	// The worker count never changes the output: per-candidate checks
+	// run against read-only models and merge in input order.
+	Workers int
 }
 
 // DefaultConfig returns thresholds calibrated on the simulator.
@@ -95,20 +100,50 @@ func New(cfg Config) *Filter {
 	return &Filter{cfg: cfg, emb: embedding.New(cfg.EmbeddingDim)}
 }
 
+// view carries the per-candidate text derivations computed exactly once
+// and reused by every later stage (LM training, co-occurrence, checks,
+// and the kept-candidate parse).
+type view struct {
+	first     string // first sentence of the raw text
+	norm      string // NormalizeSpace of the raw text
+	numTokens int    // token count of first
+}
+
+// verdict is the order-independent part of a candidate's outcome; the
+// duplicate check is order-sensitive and applied at merge time.
+type verdict struct {
+	reason DropReason
+	rel    relations.Relation
+	tail   string
+}
+
 // Run applies all coarse-grained stages in the paper's order and returns
 // kept candidates (with Relation/Tail parsed) plus a per-candidate trace
-// and a summary report.
+// and a summary report. Model fitting (perplexity LM, co-occurrence
+// stats, threshold tuning) is sequential; the per-candidate checks then
+// fan out across cfg.Workers since the fitted models are read-only. The
+// output is identical for every worker count: results merge in input
+// order, and the one order-sensitive rule (duplicate detection) runs in
+// that sequential merge.
 func (f *Filter) Run(cands []know.Candidate) ([]know.Candidate, []Result, Report) {
 	report := Report{Input: len(cands), Dropped: map[DropReason]int{}}
 	results := make([]Result, len(cands))
 
+	// Tokenize / first-sentence each candidate exactly once, in parallel.
+	views := parallel.Map(f.cfg.Workers, cands, func(i int, c know.Candidate) view {
+		first := textproc.FirstSentence(c.Text)
+		return view{
+			first:     first,
+			norm:      textproc.NormalizeSpace(c.Text),
+			numTokens: len(textproc.Tokenize(first)),
+		}
+	})
+
 	// Train the perplexity LM on all first-sentences; well-formed text
 	// dominates, so malformed candidates land in the high-perplexity tail.
 	f.lm = textproc.NewNgramLM()
-	firsts := make([]string, len(cands))
-	for i, c := range cands {
-		firsts[i] = textproc.FirstSentence(c.Text)
-		f.lm.Train(firsts[i])
+	for i := range cands {
+		f.lm.Train(views[i].first)
 	}
 
 	// Generic detection needs corpus-level co-occurrence statistics. The
@@ -116,15 +151,22 @@ func (f *Filter) Run(cands []know.Candidate) ([]know.Candidate, []Result, Report
 	// knowledge legitimately repeats across many products of the same
 	// types, while generic knowledge spreads across unrelated types.
 	co := textproc.NewCooccurrenceStats()
-	for _, c := range cands {
-		co.Observe(textproc.NormalizeSpace(c.Text), typeContext(c))
+	for i, c := range cands {
+		co.Observe(views[i].norm, typeContext(c))
 	}
 
-	// Tune the perplexity threshold at the configured quantile.
+	// Tune the perplexity threshold at the configured quantile. The LM is
+	// frozen now, so scoring fans out.
+	scored := parallel.Map(f.cfg.Workers, views, func(i int, v view) float64 {
+		if v.first == "" {
+			return -1
+		}
+		return f.lm.Perplexity(v.first)
+	})
 	ppls := make([]float64, 0, len(cands))
-	for i := range cands {
-		if firsts[i] != "" {
-			ppls = append(ppls, f.lm.Perplexity(firsts[i]))
+	for _, p := range scored {
+		if p >= 0 {
+			ppls = append(ppls, p)
 		}
 	}
 	sort.Float64s(ppls)
@@ -138,20 +180,29 @@ func (f *Filter) Run(cands []know.Candidate) ([]know.Candidate, []Result, Report
 	}
 	report.PerplexityThreshold = pplThreshold
 
+	// Per-candidate rule checks: pure reads of the fitted models.
+	verdicts := parallel.Map(f.cfg.Workers, cands, func(i int, c know.Candidate) verdict {
+		return f.check(c, views[i], co, pplThreshold)
+	})
+
+	// Order-preserving merge: duplicate detection and the report counts
+	// depend on input order, so they stay sequential.
 	seen := map[string]bool{}
 	var kept []know.Candidate
 	for i, c := range cands {
-		reason := f.check(c, firsts[i], co, pplThreshold, seen)
+		reason := verdicts[i].reason
+		if reason == DropNone && seen[keyWith(c, views[i].first)] {
+			reason = DropDuplicate
+		}
 		results[i] = Result{Candidate: c, Kept: reason == DropNone, Reason: reason}
 		if reason != DropNone {
 			report.Dropped[reason]++
 			continue
 		}
-		// Parse the triple now that the text is known-good.
-		rel, tail, _ := relations.ParseGeneration(firsts[i])
-		c.Text = firsts[i]
-		c.Relation = rel
-		c.Tail = tail
+		// The triple was parsed during the check; reuse it.
+		c.Text = views[i].first
+		c.Relation = verdicts[i].rel
+		c.Tail = verdicts[i].tail
 		seen[c.Key()] = true
 		kept = append(kept, c)
 		report.Kept++
@@ -159,16 +210,17 @@ func (f *Filter) Run(cands []know.Candidate) ([]know.Candidate, []Result, Report
 	return kept, results, report
 }
 
-func (f *Filter) check(c know.Candidate, first string, co *textproc.CooccurrenceStats,
-	pplThreshold float64, seen map[string]bool) DropReason {
+func (f *Filter) check(c know.Candidate, v view, co *textproc.CooccurrenceStats,
+	pplThreshold float64) verdict {
+	first := v.first
 	if first == "" {
-		return DropEmpty
+		return verdict{reason: DropEmpty}
 	}
-	if len(textproc.Tokenize(first)) < 2 {
-		return DropShortContent
+	if v.numTokens < 2 {
+		return verdict{reason: DropShortContent}
 	}
 	if !textproc.LooksComplete(first) {
-		return DropIncomplete
+		return verdict{reason: DropIncomplete}
 	}
 	// Copy detection against query, product types, and context title.
 	for _, ref := range []string{c.Query, c.TypeA, c.TypeB, c.ContextText} {
@@ -176,30 +228,27 @@ func (f *Filter) check(c know.Candidate, first string, co *textproc.Cooccurrence
 			continue
 		}
 		if textproc.NormalizedEditDistance(first, ref) <= f.cfg.MaxEditDistanceRatio {
-			return DropCopy
+			return verdict{reason: DropCopy}
 		}
 	}
-	if _, _, ok := relations.ParseGeneration(first); !ok {
-		return DropNoRelation
+	rel, tail, ok := relations.ParseGeneration(first)
+	if !ok {
+		return verdict{reason: DropNoRelation}
 	}
 	if pplThreshold > 0 && f.lm.Perplexity(first) > pplThreshold {
-		return DropPerplexity
+		return verdict{reason: DropPerplexity}
 	}
-	text := textproc.NormalizeSpace(c.Text)
-	if co.IsGeneric(text, f.cfg.GenericMinFreq, f.cfg.GenericMinEntropy) &&
-		co.DistinctContexts(text) >= f.cfg.GenericMinContexts {
-		return DropGeneric
+	if co.IsGeneric(v.norm, f.cfg.GenericMinFreq, f.cfg.GenericMinEntropy) &&
+		co.DistinctContexts(v.norm) >= f.cfg.GenericMinContexts {
+		return verdict{reason: DropGeneric}
 	}
 	// Similarity filter (Eq. 1): paraphrases of the behavior context.
 	if c.ContextText != "" {
 		if f.emb.Similarity(first, c.ContextText) > f.cfg.MaxContextSimilarity {
-			return DropParaphrase
+			return verdict{reason: DropParaphrase}
 		}
 	}
-	if seen[keyWith(c, first)] {
-		return DropDuplicate
-	}
-	return DropNone
+	return verdict{rel: rel, tail: tail}
 }
 
 func keyWith(c know.Candidate, text string) string {

@@ -1,0 +1,33 @@
+package filter
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFilterWorkersEquivalence: the filter's output — kept candidates,
+// per-candidate trace, and report — must be identical for any worker
+// count. Duplicate detection is the order-sensitive rule this guards.
+func TestFilterWorkersEquivalence(t *testing.T) {
+	cands := buildCandidates(t, 3000)
+	var refKept, refResults, refReport = func() (any, any, any) {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		kept, results, report := New(cfg).Run(cands)
+		return kept, results, report
+	}()
+	for _, workers := range []int{2, 3, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		kept, results, report := New(cfg).Run(cands)
+		if !reflect.DeepEqual(refKept, any(kept)) {
+			t.Fatalf("workers=%d: kept candidates differ from sequential run", workers)
+		}
+		if !reflect.DeepEqual(refResults, any(results)) {
+			t.Fatalf("workers=%d: per-candidate results differ from sequential run", workers)
+		}
+		if !reflect.DeepEqual(refReport, any(report)) {
+			t.Fatalf("workers=%d: report differs from sequential run", workers)
+		}
+	}
+}

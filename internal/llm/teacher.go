@@ -131,6 +131,38 @@ func NewTeacher(cat *catalog.Catalog, cfg Config) *Teacher {
 // Cost returns a snapshot of accumulated simulated inference cost.
 func (t *Teacher) Cost() CostSnapshot { return t.cost.Snapshot() }
 
+// DeriveSeed mixes the master seed with a behavior index via splitmix64
+// finalization, producing an independent, well-distributed stream seed
+// per item. Identical (seed, index) pairs always derive the same stream,
+// which is what makes generation order-independent: each behavior's
+// candidates depend only on its own index, never on how many draws other
+// behaviors consumed from a shared generator.
+func DeriveSeed(master int64, index uint64) int64 {
+	z := uint64(master) + 0x9e3779b97f4a7c15*(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// rngAt returns a fresh generator for the behavior at index.
+func (t *Teacher) rngAt(index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(t.cfg.Seed, index)))
+}
+
+// GenerateCoBuyAt is the order-independent form of GenerateCoBuy: the
+// candidates for (index, a, b, k) are a pure function of the teacher
+// config and index, so calls may run concurrently and in any order.
+// Callers must give each behavior a distinct index (disjoint across
+// behavior types) for the streams to be independent.
+func (t *Teacher) GenerateCoBuyAt(index uint64, a, b catalog.Product, k int) []Candidate {
+	return t.generateCoBuy(t.rngAt(index), a, b, k)
+}
+
+// GenerateSearchBuyAt is the order-independent form of GenerateSearchBuy.
+func (t *Teacher) GenerateSearchBuyAt(index uint64, query string, p catalog.Product, k int) []Candidate {
+	return t.generateSearchBuy(t.rngAt(index), query, p, k)
+}
+
 var genericPool = []string{
 	"customers bought them together because they like them",
 	"used for the same reason",
@@ -142,18 +174,25 @@ var genericPool = []string{
 }
 
 // GenerateCoBuy emits k candidates explaining why products a and b are
-// co-purchased.
+// co-purchased. It draws from the teacher's shared sequential stream;
+// concurrent callers serialize on it. Parallel pipelines use
+// GenerateCoBuyAt instead.
 func (t *Teacher) GenerateCoBuy(a, b catalog.Product, k int) []Candidate {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.generateCoBuy(t.rng, a, b, k)
+}
+
+// generateCoBuy is the generation body; all randomness flows from rng.
+func (t *Teacher) generateCoBuy(rng *rand.Rand, a, b catalog.Product, k int) []Candidate {
 	out := make([]Candidate, 0, k)
 	shared := t.cat.SharedIntents(a, b)
 	for i := 0; i < k; i++ {
-		r := t.rng.Float64()
+		r := rng.Float64()
 		var c Candidate
 		switch {
 		case r < t.cfg.TypicalRate && len(shared) > 0:
-			in := shared[t.rng.Intn(len(shared))]
+			in := shared[rng.Intn(len(shared))]
 			c = Candidate{Text: in.Surface(), Truth: Truth{
 				Complete: true, Relevant: true, Informative: true,
 				Plausible: true, Typical: true, Mode: ModeTypical,
@@ -162,15 +201,15 @@ func (t *Teacher) GenerateCoBuy(a, b catalog.Product, k int) []Candidate {
 			// Intention of one product only — plausible, not typical for
 			// the pair (the paper's dominant co-buy failure mode).
 			p := a
-			if t.rng.Intn(2) == 1 {
+			if rng.Intn(2) == 1 {
 				p = b
 			}
 			ins := t.cat.IntentsOf(p)
 			if len(ins) == 0 {
-				c = t.genericCandidate()
+				c = t.genericCandidate(rng)
 				break
 			}
-			in := ins[t.rng.Intn(len(ins))]
+			in := ins[rng.Intn(len(ins))]
 			typical := false
 			// If the one-sided intent happens to be shared it is typical.
 			for _, s := range shared {
@@ -183,7 +222,7 @@ func (t *Teacher) GenerateCoBuy(a, b catalog.Product, k int) []Candidate {
 				Plausible: true, Typical: typical, Mode: ModeOneSided,
 			}}
 		default:
-			c = t.noiseCandidate(a.Title + " and " + b.Title)
+			c = t.noiseCandidate(rng, a.Title+" and "+b.Title)
 		}
 		out = append(out, c)
 		t.cost.Charge(t.cfg.Size, len(textproc.Tokenize(c.Text)))
@@ -192,27 +231,33 @@ func (t *Teacher) GenerateCoBuy(a, b catalog.Product, k int) []Candidate {
 }
 
 // GenerateSearchBuy emits k candidates explaining why query led to the
-// purchase of p.
+// purchase of p, drawing from the shared sequential stream. Parallel
+// pipelines use GenerateSearchBuyAt instead.
 func (t *Teacher) GenerateSearchBuy(query string, p catalog.Product, k int) []Candidate {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.generateSearchBuy(t.rng, query, p, k)
+}
+
+// generateSearchBuy is the generation body; all randomness flows from rng.
+func (t *Teacher) generateSearchBuy(rng *rand.Rand, query string, p catalog.Product, k int) []Candidate {
 	out := make([]Candidate, 0, k)
 	ins := t.cat.IntentsOf(p)
 	for i := 0; i < k; i++ {
-		r := t.rng.Float64()
+		r := rng.Float64()
 		var c Candidate
 		switch {
 		case r < t.cfg.TypicalRate+t.cfg.OneSidedRate && len(ins) > 0:
 			// Search-buy has no one-sided failure mode: the product's own
 			// intents are the right explanations, so typicality is higher
 			// (paper Table 4).
-			in := ins[t.rng.Intn(len(ins))]
+			in := ins[rng.Intn(len(ins))]
 			c = Candidate{Text: in.Surface(), Truth: Truth{
 				Complete: true, Relevant: true, Informative: true,
 				Plausible: true, Typical: true, Mode: ModeTypical,
 			}}
 		default:
-			c = t.noiseCandidate(query + " " + p.Title)
+			c = t.noiseCandidate(rng, query+" "+p.Title)
 		}
 		out = append(out, c)
 		t.cost.Charge(t.cfg.Size, len(textproc.Tokenize(c.Text)))
@@ -221,41 +266,41 @@ func (t *Teacher) GenerateSearchBuy(query string, p catalog.Product, k int) []Ca
 }
 
 // noiseCandidate picks among generic / paraphrase / incomplete /
-// hallucination modes. Caller holds the lock.
-func (t *Teacher) noiseCandidate(context string) Candidate {
+// hallucination modes.
+func (t *Teacher) noiseCandidate(rng *rand.Rand, context string) Candidate {
 	total := t.cfg.GenericRate + t.cfg.ParaphraseRate + t.cfg.IncompleteRate
-	r := t.rng.Float64() * (total + 0.08) // leftover → hallucination
+	r := rng.Float64() * (total + 0.08) // leftover → hallucination
 	switch {
 	case r < t.cfg.GenericRate:
-		return t.genericCandidate()
+		return t.genericCandidate(rng)
 	case r < t.cfg.GenericRate+t.cfg.ParaphraseRate:
-		return Candidate{Text: paraphrase(t.rng, context), Truth: Truth{
+		return Candidate{Text: paraphrase(rng, context), Truth: Truth{
 			Complete: true, Relevant: true, Informative: false,
 			Plausible: true, Typical: false, Mode: ModeParaphrase,
 		}}
 	case r < total:
 		// Truncate a plausible-looking generation mid-phrase.
-		full := t.hallucinatedText()
+		full := t.hallucinatedText(rng)
 		words := strings.Fields(full)
 		n := 2
 		if len(words) > 3 {
-			n = 2 + t.rng.Intn(len(words)-3)
+			n = 2 + rng.Intn(len(words)-3)
 		}
 		return Candidate{Text: strings.Join(words[:n], " "), Truth: Truth{
 			Complete: false, Relevant: false, Informative: false,
 			Plausible: false, Typical: false, Mode: ModeIncomplete,
 		}}
 	default:
-		return Candidate{Text: t.hallucinatedText(), Truth: Truth{
+		return Candidate{Text: t.hallucinatedText(rng), Truth: Truth{
 			Complete: true, Relevant: false, Informative: true,
 			Plausible: false, Typical: false, Mode: ModeHallucination,
 		}}
 	}
 }
 
-func (t *Teacher) genericCandidate() Candidate {
+func (t *Teacher) genericCandidate(rng *rand.Rand) Candidate {
 	return Candidate{
-		Text: genericPool[t.rng.Intn(len(genericPool))],
+		Text: genericPool[rng.Intn(len(genericPool))],
 		Truth: Truth{
 			Complete: true, Relevant: true, Informative: false,
 			Plausible: true, Typical: false, Mode: ModeGeneric,
@@ -265,12 +310,12 @@ func (t *Teacher) genericCandidate() Candidate {
 
 // hallucinatedText returns a fluent but wrong intention: the surface of
 // an intent from a random unrelated product type.
-func (t *Teacher) hallucinatedText() string {
+func (t *Teacher) hallucinatedText(rng *rand.Rand) string {
 	types := t.cat.Types()
 	for tries := 0; tries < 10; tries++ {
-		pt, _ := t.cat.Type(types[t.rng.Intn(len(types))])
+		pt, _ := t.cat.Type(types[rng.Intn(len(types))])
 		if len(pt.Intents) > 0 {
-			in := pt.Intents[t.rng.Intn(len(pt.Intents))]
+			in := pt.Intents[rng.Intn(len(pt.Intents))]
 			return in.Surface()
 		}
 	}
