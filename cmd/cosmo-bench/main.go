@@ -7,16 +7,35 @@
 //	cosmo-bench -list
 //	cosmo-bench -exp table6
 //	cosmo-bench -all [-scale 4]
+//	cosmo-bench -exp serving -json bench.json
+//
+// With -json, each experiment run is also measured (wall time and heap
+// allocations around the run, with the shared pipeline world built
+// before the clock starts) and the results are written to the given
+// path as a JSON array of {name, ns_per_op, allocs_per_op, workers},
+// one element per experiment, so CI can archive the perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"cosmo/internal/experiments"
 )
+
+// benchResult is one experiment's measurement in the -json output. An
+// "op" is one full experiment run.
+type benchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	Workers     int    `json:"workers"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -27,6 +46,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = largest laptop-scale run)")
 	workers := flag.Int("workers", 0, "worker-pool size for the pipeline's parallel stages (0 = GOMAXPROCS); never changes results")
+	jsonOut := flag.String("json", "", "write per-experiment timing/allocation measurements to this path")
 	flag.Parse()
 
 	if *list {
@@ -37,16 +57,59 @@ func main() {
 	}
 	r := experiments.NewRunner(os.Stdout, *scale)
 	r.Workers = *workers
+
+	var names []string
 	switch {
 	case *all:
-		if err := r.RunAll(); err != nil {
-			log.Fatal(err)
-		}
+		names = experiments.Names()
 	case *exp != "":
-		if err := r.Run(*exp); err != nil {
-			log.Fatal(err)
-		}
+		names = []string{*exp}
 	default:
 		log.Fatal("specify -exp <name>, -all, or -list")
 	}
+
+	if *jsonOut == "" {
+		for _, name := range names {
+			if err := r.Run(name); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	// Measured mode: build the shared world (and its frozen KG snapshot)
+	// before the clock starts so measurements cover the experiments
+	// themselves, not the one-time pipeline run.
+	r.World()
+	resolvedWorkers := *workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]benchResult, 0, len(names))
+	for _, name := range names {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := r.Run(name); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		fmt.Println()
+		results = append(results, benchResult{
+			Name:        name,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			Workers:     resolvedWorkers,
+		})
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d experiments)", *jsonOut, len(results))
 }

@@ -41,10 +41,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// All queries go through the frozen read-optimized snapshot — the
+	// same view the serving stack uses.
+	snap := g.Freeze()
 
 	switch flag.Arg(0) {
 	case "stats":
-		s := g.ComputeStats()
+		s := snap.ComputeStats()
 		fmt.Printf("nodes: %d\nedges: %d\nrelations: %d\ndomains: %d\n",
 			s.Nodes, s.Edges, s.Relations, s.Domains)
 		for _, cat := range sortedKeys(s) {
@@ -56,13 +59,14 @@ func main() {
 			log.Fatal("lookup requires a node id (e.g. 'q:camping' or 'p:P000001')")
 		}
 		head := flag.Arg(1)
-		edges := g.IntentionsFor(head)
-		if len(edges) == 0 {
+		seq := snap.IntentionsFor(head)
+		if seq.Len() == 0 {
 			fmt.Println("no intentions for", head)
 			return
 		}
-		for _, e := range edges {
-			tail, _ := g.Node(e.Tail)
+		for i := 0; i < seq.Len(); i++ {
+			e := seq.At(i)
+			tail, _ := snap.Node(e.Tail)
 			fmt.Printf("%-16s %-40s plausible=%.3f typical=%.3f support=%d\n",
 				e.Relation, tail.Label, e.PlausibleScore, e.TypicalScore, e.Support)
 		}
@@ -70,12 +74,12 @@ func main() {
 		if flag.NArg() < 2 {
 			log.Fatal("related requires a product node id (e.g. 'p:P000001')")
 		}
-		for _, rel := range g.RelatedProducts(flag.Arg(1), 10) {
+		for _, rel := range snap.RelatedProducts(flag.Arg(1), 10) {
 			fmt.Printf("%-12s %-45s score=%.2f via %v\n",
 				rel.ProductID, rel.Label, rel.Score, rel.Via)
 		}
 	case "hierarchy":
-		roots := g.BuildHierarchy(*minSupport)
+		roots := snap.BuildHierarchy(*minSupport)
 		fmt.Printf("%d hierarchy roots\n", len(roots))
 		n := 10
 		if n > len(roots) {

@@ -6,11 +6,17 @@
 // the server down gracefully: in-flight requests finish and the batch
 // worker performs a final drain before exit.
 //
+// The knowledge graph is served from an immutable frozen snapshot
+// (kg.Snapshot): the request path reads it lock-free through an atomic
+// pointer, and each refresh freezes a new snapshot and swaps it in
+// RCU-style without pausing in-flight requests.
+//
 // Usage:
 //
 //	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
 //
-// Endpoints: GET /intent?q=..., GET /stats, GET /metrics, GET /healthz.
+// Endpoints: GET /intent?q=..., GET /intentions?id=..., GET /related?id=...,
+// GET /kg, GET /stats, GET /metrics, GET /healthz.
 package main
 
 import (
@@ -49,8 +55,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("pipeline ready: KG %d edges, COSMO-LM %d tails",
-		res.KG.NumEdges(), res.CosmoLM.KnownTails())
+	snap := res.KG.Freeze()
+	log.Printf("pipeline ready: frozen KG snapshot %d nodes / %d edges, COSMO-LM %d tails",
+		snap.NumNodes(), snap.NumEdges(), res.CosmoLM.KnownTails())
 
 	responder := serving.ResponderFunc(func(q string) serving.Feature {
 		gens := res.CosmoLM.Generate("search query: "+q, "", "", 3)
@@ -71,6 +78,7 @@ func main() {
 		CacheShards:   *shards,
 		QueueCap:      *queueCap,
 	}, responder)
+	dep.SetKG(snap)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -87,8 +95,10 @@ func main() {
 			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				log.Print("daily refresh: rotating model and caches")
-				dep.DailyRefresh(responder, 2048)
+				log.Print("daily refresh: rotating model, caches and KG snapshot")
+				// Freeze a fresh snapshot of the (re)built graph and swap
+				// it in; readers on the old snapshot are undisturbed.
+				dep.DailyRefresh(responder, res.KG.Freeze(), 2048)
 			}
 		}
 	}()

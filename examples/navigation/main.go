@@ -19,7 +19,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	nav := navigation.NewNavigator(res.KG, 2)
+	// Navigation reads the frozen snapshot: one Freeze per refresh, then
+	// every lookup is lock-free.
+	nav := navigation.NewNavigator(res.KG.Freeze(), 2)
 
 	// Multi-turn navigation: "camping" → refinement → products.
 	sess := nav.StartSession("camping")

@@ -31,6 +31,7 @@ func main() {
 		return f
 	})
 	dep := serving.NewDeployment(serving.DeployConfig{DailyCacheCap: 256}, responder)
+	dep.SetKG(res.KG.Freeze())
 
 	// Build a Zipf-ish traffic stream from the behavior log's queries.
 	var pool []string
@@ -54,8 +55,8 @@ func main() {
 	s1 := dep.Cache.Stats()
 	fmt.Printf("  hit rate %.1f%% (yearly %d / daily %d)\n", s1.HitRate()*100, s1.YearlyHits, s1.DailyHits)
 
-	fmt.Println("daily refresh: new model version + yearly preload from feedback loop")
-	dep.DailyRefresh(responder, 512)
+	fmt.Println("daily refresh: new model version + KG snapshot swap + yearly preload from feedback loop")
+	dep.DailyRefresh(responder, res.KG.Freeze(), 512)
 
 	fmt.Println("day 2 (warm yearly layer)...")
 	day(20000)

@@ -34,8 +34,7 @@ const (
 )
 
 func (r *Runner) figure8() error {
-	res := r.World()
-	roots := res.KG.BuildHierarchy(2)
+	roots := r.KGSnapshot().BuildHierarchy(2)
 	fmt.Fprintf(r.Out, "intention hierarchy: %d roots (showing top 5)\n", len(roots))
 	n := 5
 	if n > len(roots) {
@@ -52,7 +51,7 @@ func (r *Runner) figure8() error {
 // intent.
 func (r *Runner) rewriteStudy() error {
 	res := r.World()
-	nav := navigation.NewNavigator(res.KG, 2)
+	nav := navigation.NewNavigator(r.KGSnapshot(), 2)
 	study := navigation.NewRewriteStudy(res.Catalog, nav)
 	out := study.Run(9, max(1000, 20000/r.Scale), 5)
 	fmt.Fprintf(r.Out, "mean query rewrites per satisfied session: control=%.2f, with COSMO navigation=%.2f\n",
@@ -66,7 +65,7 @@ func (r *Runner) rewriteStudy() error {
 
 func (r *Runner) abtest() error {
 	res := r.World()
-	nav := navigation.NewNavigator(res.KG, 2)
+	nav := navigation.NewNavigator(r.KGSnapshot(), 2)
 	cfg := navigation.DefaultABConfig()
 	cfg.Visitors = max(100000, 2000000/r.Scale)
 	result := navigation.NewExperiment(res.Catalog, nav, cfg).Run()

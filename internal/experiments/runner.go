@@ -16,6 +16,7 @@ import (
 	"cosmo/internal/core"
 	"cosmo/internal/cosmolm"
 	"cosmo/internal/instruction"
+	"cosmo/internal/kg"
 	"cosmo/internal/relevance"
 	"cosmo/internal/session"
 )
@@ -31,8 +32,9 @@ type Runner struct {
 	// GOMAXPROCS). The worker count never changes experiment results.
 	Workers int
 
-	mu  sync.Mutex
-	res *core.Result
+	mu   sync.Mutex
+	res  *core.Result
+	snap *kg.Snapshot
 }
 
 // NewRunner builds a runner writing reports to out.
@@ -71,11 +73,17 @@ func (r *Runner) World() *core.Result {
 	return res
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// KGSnapshot lazily freezes the world's knowledge graph once and
+// caches it — the serving-side experiments read the same immutable
+// view a deployment would.
+func (r *Runner) KGSnapshot() *kg.Snapshot {
+	res := r.World()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snap == nil {
+		r.snap = res.KG.Freeze()
 	}
-	return b
+	return r.snap
 }
 
 // Experiment is one runnable experiment.

@@ -20,6 +20,17 @@ type HierarchyNode struct {
 	EdgeCount int
 }
 
+// tailInfo aggregates one intention tail's evidence for hierarchy
+// assembly: its label's stemmed content tokens, total edge support,
+// and the product labels attached to it.
+type tailInfo struct {
+	id       string // tail node ID, the deterministic tie-breaker
+	label    string
+	tokens   map[string]bool
+	count    int
+	products map[string]bool
+}
+
 // BuildHierarchy organizes the graph's intention tails into a
 // specialization forest: tail B is a child of tail A when A's content
 // tokens are a strict subset of B's (e.g. "camping" ⊂ "winter camping").
@@ -27,13 +38,7 @@ type HierarchyNode struct {
 // Roots are returned sorted by descending edge support.
 func (g *Graph) BuildHierarchy(minSupport int) []*HierarchyNode {
 	g.mu.RLock()
-	type info struct {
-		label    string
-		tokens   map[string]bool
-		count    int
-		products map[string]bool
-	}
-	byTail := map[string]*info{}
+	byTail := map[string]*tailInfo{}
 	for _, e := range g.edges {
 		n := g.nodes[e.Tail]
 		in := byTail[e.Tail]
@@ -42,7 +47,7 @@ func (g *Graph) BuildHierarchy(minSupport int) []*HierarchyNode {
 			for _, t := range textproc.StemAll(textproc.ContentTokens(n.Label)) {
 				toks[t] = true
 			}
-			in = &info{label: n.Label, tokens: toks, products: map[string]bool{}}
+			in = &tailInfo{id: e.Tail, label: n.Label, tokens: toks, products: map[string]bool{}}
 			byTail[e.Tail] = in
 		}
 		in.count += e.Support
@@ -51,19 +56,30 @@ func (g *Graph) BuildHierarchy(minSupport int) []*HierarchyNode {
 		}
 	}
 	g.mu.RUnlock()
+	return assembleHierarchy(byTail, minSupport)
+}
 
-	infos := make([]*info, 0, len(byTail))
+// assembleHierarchy turns per-tail aggregates into the specialization
+// forest. Shared by the mutable Graph and the frozen Snapshot so the
+// two read paths produce identical hierarchies.
+func assembleHierarchy(byTail map[string]*tailInfo, minSupport int) []*HierarchyNode {
+	infos := make([]*tailInfo, 0, len(byTail))
 	for _, in := range byTail {
 		if in.count >= minSupport && len(in.tokens) > 0 {
 			infos = append(infos, in)
 		}
 	}
-	// Sort by token-set size so parents precede children.
+	// Sort by token-set size so parents precede children; the tail-ID
+	// tie-break makes the order (and so the forest) fully deterministic
+	// even when two tails share a label.
 	sort.Slice(infos, func(i, j int) bool {
 		if len(infos[i].tokens) != len(infos[j].tokens) {
 			return len(infos[i].tokens) < len(infos[j].tokens)
 		}
-		return infos[i].label < infos[j].label
+		if infos[i].label != infos[j].label {
+			return infos[i].label < infos[j].label
+		}
+		return infos[i].id < infos[j].id
 	})
 	nodes := make([]*HierarchyNode, len(infos))
 	for i, in := range infos {

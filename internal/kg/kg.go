@@ -266,13 +266,23 @@ func (g *Graph) Nodes() []Node {
 // sorted by descending typicality score.
 func (g *Graph) IntentionsFor(head string) []Edge {
 	es := g.EdgesFrom(head)
+	sortIntentions(es)
+	return es
+}
+
+// sortIntentions orders edges by descending typicality with a total
+// (tail, relation) tie-break — the order Snapshot pre-bakes into its
+// per-head CSR rows.
+func sortIntentions(es []Edge) {
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].TypicalScore != es[j].TypicalScore {
 			return es[i].TypicalScore > es[j].TypicalScore
 		}
-		return es[i].Tail < es[j].Tail
+		if es[i].Tail != es[j].Tail {
+			return es[i].Tail < es[j].Tail
+		}
+		return es[i].Relation < es[j].Relation
 	})
-	return es
 }
 
 // Stats summarizes the graph (the COSMO row of paper Table 1).

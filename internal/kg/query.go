@@ -17,45 +17,62 @@ type Related struct {
 // returns up to k products sharing intentions with the head, best first.
 // This is the KG-native form of the "substitute / complement through a
 // shared reason" signal the downstream applications consume.
+//
+// The whole walk holds one read lock (no per-edge re-entry) and visits
+// edges in the same canonical order as Snapshot.RelatedProducts —
+// first hop in IntentionsFor order, back edges by (head, relation) —
+// so the accumulated float scores of the two paths are bitwise equal.
 func (g *Graph) RelatedProducts(head string, k int) []Related {
 	type agg struct {
 		score float64
 		via   map[string]bool
 	}
 	acc := map[string]*agg{}
-	for _, e := range g.EdgesFrom(head) {
-		tailNode, _ := g.Node(e.Tail)
-		for _, back := range g.EdgesTo(e.Tail) {
-			if back.Head == head {
+
+	g.mu.RLock()
+	first := g.collect(g.byHead[head])
+	sortIntentions(first)
+	for _, e := range first {
+		tailLabel := g.nodes[e.Tail].Label
+		back := g.collect(g.byTail[e.Tail])
+		sort.Slice(back, func(i, j int) bool {
+			if back[i].Head != back[j].Head {
+				return back[i].Head < back[j].Head
+			}
+			return back[i].Relation < back[j].Relation
+		})
+		for _, b := range back {
+			if b.Head == head {
 				continue
 			}
-			n, ok := g.Node(back.Head)
+			n, ok := g.nodes[b.Head]
 			if !ok || n.Type != NodeProduct {
 				continue
 			}
-			a := acc[back.Head]
+			a := acc[b.Head]
 			if a == nil {
 				a = &agg{via: map[string]bool{}}
-				acc[back.Head] = a
+				acc[b.Head] = a
 			}
-			w := e.TypicalScore * back.TypicalScore * float64(min(e.Support, back.Support))
+			w := e.TypicalScore * b.TypicalScore * float64(min(e.Support, b.Support))
 			if w <= 0 {
 				w = 0.01
 			}
 			a.score += w
-			a.via[tailNode.Label] = true
+			a.via[tailLabel] = true
 		}
 	}
 	out := make([]Related, 0, len(acc))
 	for id, a := range acc {
-		n, _ := g.Node(id)
 		via := make([]string, 0, len(a.via))
 		for v := range a.via {
 			via = append(via, v)
 		}
 		sort.Strings(via)
-		out = append(out, Related{ProductID: id, Label: n.Label, Score: a.score, Via: via})
+		out = append(out, Related{ProductID: id, Label: g.nodes[id].Label, Score: a.score, Via: via})
 	}
+	g.mu.RUnlock()
+
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -66,13 +83,6 @@ func (g *Graph) RelatedProducts(head string, k int) []Related {
 		out = out[:k]
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Subgraph returns a new graph containing only edges whose domain is in

@@ -1,0 +1,471 @@
+package kg
+
+import (
+	"sort"
+	"sync"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+	"cosmo/internal/textproc"
+)
+
+// Snapshot is an immutable, read-optimized view of a Graph, built once
+// by Freeze and then shared freely across goroutines with no locking at
+// all. It is the serving-side read path: the KG is written once per
+// refresh by the offline pipeline and read millions of times by the
+// online applications, so the mutable map-and-RWMutex Graph is frozen
+// into dense arrays the moment it stops changing.
+//
+// Layout: node IDs and labels are interned into a symbol table mapping
+// each node to a dense int32 (symbols are assigned in ascending node-ID
+// order, so comparing symbols as ints is comparing IDs as strings);
+// edges live in flat struct-of-arrays in Graph.Edges() key order; the
+// four secondary indexes are CSR offset+index arrays. Per-head
+// adjacency is pre-sorted in the IntentionsFor order (descending
+// typicality, then tail ID, then relation), so IntentionsFor is a
+// zero-alloc slice view. Per-tail adjacency is pre-sorted by (head ID,
+// relation), which fixes the accumulation order RelatedProducts and the
+// legacy Graph walk share — their scores are bitwise identical.
+type Snapshot struct {
+	// Symbol table: sym -> ID / label / type, ascending-ID order.
+	ids    []string
+	labels []string
+	ntypes []NodeType
+	sym    map[string]int32
+
+	// Edge struct-of-arrays, in Graph.Edges() (key-sorted) order.
+	eHead []int32
+	eTail []int32
+	eRel  []int32 // index into rels
+	eDom  []int32 // index into doms
+	eBeh  []know.BehaviorType
+	ePla  []float64
+	eTyp  []float64
+	eSup  []int32
+
+	// Interned relation and domain tables, ascending order.
+	rels   []relations.Relation
+	doms   []catalog.Category
+	relSym map[relations.Relation]int32
+	domSym map[catalog.Category]int32
+
+	byHead csr // rows: node syms, pre-sorted in IntentionsFor order
+	byTail csr // rows: node syms, pre-sorted by (head sym, rel sym)
+	byRel  csr // rows: relation syms, global edge order
+	byDom  csr // rows: domain syms, global edge order
+
+	// scratch pools RelatedProducts accumulators so the two-hop walk
+	// allocates only its result. Bounded by the pool's GC semantics.
+	scratch sync.Pool
+}
+
+// csr is a compressed sparse row index: row r's entries are
+// idx[off[r]:off[r+1]], each an index into the edge arrays.
+type csr struct {
+	off []int32
+	idx []int32
+}
+
+func (c csr) row(r int32) []int32 { return c.idx[c.off[r]:c.off[r+1]] }
+
+// newCSR builds a CSR with the given row count from (row, edge) pairs
+// delivered by iterate in ascending edge order.
+func newCSR(rows int, edges int, rowOf func(e int32) int32) csr {
+	off := make([]int32, rows+1)
+	for e := int32(0); e < int32(edges); e++ {
+		off[rowOf(e)+1]++
+	}
+	for r := 0; r < rows; r++ {
+		off[r+1] += off[r]
+	}
+	idx := make([]int32, edges)
+	fill := make([]int32, rows)
+	for e := int32(0); e < int32(edges); e++ {
+		r := rowOf(e)
+		idx[off[r]+fill[r]] = e
+		fill[r]++
+	}
+	return csr{off: off, idx: idx}
+}
+
+// Freeze builds an immutable Snapshot of the graph's current contents.
+// It takes the read lock once; the returned snapshot never locks. The
+// mutable Graph remains fully usable (the offline pipeline keeps
+// building it); serving code swaps fresh snapshots in via
+// atomic.Pointer (see serving.Deployment).
+func (g *Graph) Freeze() *Snapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	s := &Snapshot{}
+
+	// Symbol table in ascending node-ID order.
+	s.ids = make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
+	s.labels = make([]string, len(s.ids))
+	s.ntypes = make([]NodeType, len(s.ids))
+	s.sym = make(map[string]int32, len(s.ids))
+	for i, id := range s.ids {
+		n := g.nodes[id]
+		s.labels[i] = n.Label
+		s.ntypes[i] = n.Type
+		s.sym[id] = int32(i)
+	}
+
+	// Relation and domain intern tables, ascending order.
+	for r := range g.byRelation {
+		s.rels = append(s.rels, r)
+	}
+	sort.Slice(s.rels, func(i, j int) bool { return s.rels[i] < s.rels[j] })
+	s.relSym = make(map[relations.Relation]int32, len(s.rels))
+	for i, r := range s.rels {
+		s.relSym[r] = int32(i)
+	}
+	for d := range g.byDomain {
+		s.doms = append(s.doms, d)
+	}
+	sort.Slice(s.doms, func(i, j int) bool { return s.doms[i] < s.doms[j] })
+	s.domSym = make(map[catalog.Category]int32, len(s.doms))
+	for i, d := range s.doms {
+		s.domSym[d] = int32(i)
+	}
+
+	// Edges in key-sorted order (the Graph.Edges() order).
+	keys := make([]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ne := len(keys)
+	s.eHead = make([]int32, ne)
+	s.eTail = make([]int32, ne)
+	s.eRel = make([]int32, ne)
+	s.eDom = make([]int32, ne)
+	s.eBeh = make([]know.BehaviorType, ne)
+	s.ePla = make([]float64, ne)
+	s.eTyp = make([]float64, ne)
+	s.eSup = make([]int32, ne)
+	for i, k := range keys {
+		e := g.edges[k]
+		s.eHead[i] = s.sym[e.Head]
+		s.eTail[i] = s.sym[e.Tail]
+		s.eRel[i] = s.relSym[e.Relation]
+		s.eDom[i] = s.domSym[e.Domain]
+		s.eBeh[i] = e.Behavior
+		s.ePla[i] = e.PlausibleScore
+		s.eTyp[i] = e.TypicalScore
+		s.eSup[i] = int32(e.Support)
+	}
+
+	nn := len(s.ids)
+	s.byHead = newCSR(nn, ne, func(e int32) int32 { return s.eHead[e] })
+	s.byTail = newCSR(nn, ne, func(e int32) int32 { return s.eTail[e] })
+	s.byRel = newCSR(len(s.rels), ne, func(e int32) int32 { return s.eRel[e] })
+	s.byDom = newCSR(len(s.doms), ne, func(e int32) int32 { return s.eDom[e] })
+
+	// Pre-sort per-head rows in the IntentionsFor order and per-tail
+	// rows in the canonical back-walk order. Symbol comparisons stand in
+	// for the string comparisons because symbols are assigned in sorted
+	// order.
+	for r := int32(0); r < int32(nn); r++ {
+		row := s.byHead.row(r)
+		sort.Slice(row, func(a, b int) bool {
+			x, y := row[a], row[b]
+			if s.eTyp[x] != s.eTyp[y] {
+				return s.eTyp[x] > s.eTyp[y]
+			}
+			if s.eTail[x] != s.eTail[y] {
+				return s.eTail[x] < s.eTail[y]
+			}
+			return s.eRel[x] < s.eRel[y]
+		})
+		back := s.byTail.row(r)
+		sort.Slice(back, func(a, b int) bool {
+			x, y := back[a], back[b]
+			if s.eHead[x] != s.eHead[y] {
+				return s.eHead[x] < s.eHead[y]
+			}
+			return s.eRel[x] < s.eRel[y]
+		})
+	}
+
+	s.scratch.New = func() any { return &relatedScratch{} }
+	return s
+}
+
+// edgeAt materializes edge i. Strings come from the symbol table, so
+// this copies headers, never bytes.
+func (s *Snapshot) edgeAt(i int32) Edge {
+	return Edge{
+		Head:           s.ids[s.eHead[i]],
+		Relation:       s.rels[s.eRel[i]],
+		Tail:           s.ids[s.eTail[i]],
+		Behavior:       s.eBeh[i],
+		Domain:         s.doms[s.eDom[i]],
+		PlausibleScore: s.ePla[i],
+		TypicalScore:   s.eTyp[i],
+		Support:        int(s.eSup[i]),
+	}
+}
+
+// Node returns a node by ID.
+func (s *Snapshot) Node(id string) (Node, bool) {
+	i, ok := s.sym[id]
+	if !ok {
+		return Node{}, false
+	}
+	return Node{ID: s.ids[i], Type: s.ntypes[i], Label: s.labels[i]}, true
+}
+
+// NumNodes returns the node count.
+func (s *Snapshot) NumNodes() int { return len(s.ids) }
+
+// NumEdges returns the edge count.
+func (s *Snapshot) NumEdges() int { return len(s.eHead) }
+
+// NumRelations returns the number of distinct relations present.
+func (s *Snapshot) NumRelations() int { return len(s.rels) }
+
+// Nodes returns every node in deterministic (ID-sorted) order.
+func (s *Snapshot) Nodes() []Node {
+	out := make([]Node, len(s.ids))
+	for i := range s.ids {
+		out[i] = Node{ID: s.ids[i], Type: s.ntypes[i], Label: s.labels[i]}
+	}
+	return out
+}
+
+// Edges returns every edge in the same deterministic (key-sorted) order
+// as Graph.Edges.
+func (s *Snapshot) Edges() []Edge {
+	out := make([]Edge, len(s.eHead))
+	for i := range out {
+		out[i] = s.edgeAt(int32(i))
+	}
+	return out
+}
+
+func (s *Snapshot) collectRow(row []int32) []Edge {
+	out := make([]Edge, len(row))
+	for i, e := range row {
+		out[i] = s.edgeAt(e)
+	}
+	return out
+}
+
+// EdgesFrom returns all edges with the given head, in the IntentionsFor
+// order (descending typicality).
+func (s *Snapshot) EdgesFrom(head string) []Edge {
+	h, ok := s.sym[head]
+	if !ok {
+		return []Edge{}
+	}
+	return s.collectRow(s.byHead.row(h))
+}
+
+// EdgesTo returns all edges pointing at the given intention tail,
+// sorted by (head, relation).
+func (s *Snapshot) EdgesTo(tail string) []Edge {
+	t, ok := s.sym[tail]
+	if !ok {
+		return []Edge{}
+	}
+	return s.collectRow(s.byTail.row(t))
+}
+
+// EdgesByRelation returns all edges of a relation in key-sorted order.
+func (s *Snapshot) EdgesByRelation(r relations.Relation) []Edge {
+	i, ok := s.relSym[r]
+	if !ok {
+		return []Edge{}
+	}
+	return s.collectRow(s.byRel.row(i))
+}
+
+// EdgesInDomain returns all edges of a domain in key-sorted order.
+func (s *Snapshot) EdgesInDomain(d catalog.Category) []Edge {
+	i, ok := s.domSym[d]
+	if !ok {
+		return []Edge{}
+	}
+	return s.collectRow(s.byDom.row(i))
+}
+
+// EdgeSeq is a zero-alloc view over a pre-sorted adjacency row. The
+// value itself is two words plus a slice header; At materializes edges
+// on demand without touching the heap.
+type EdgeSeq struct {
+	s   *Snapshot
+	idx []int32
+}
+
+// Len returns the number of edges in the sequence.
+func (es EdgeSeq) Len() int { return len(es.idx) }
+
+// At materializes the i-th edge of the sequence.
+func (es EdgeSeq) At(i int) Edge { return es.s.edgeAt(es.idx[i]) }
+
+// Edges materializes the whole sequence (allocates; hot paths should
+// iterate with Len/At instead).
+func (es EdgeSeq) Edges() []Edge {
+	out := make([]Edge, len(es.idx))
+	for i := range out {
+		out[i] = es.s.edgeAt(es.idx[i])
+	}
+	return out
+}
+
+// IntentionsFor returns the intentions reachable from a head, sorted by
+// descending typicality (ties: tail ID, then relation) — the same order
+// as Graph.IntentionsFor. The returned view is a slice into the frozen
+// index: no locks, no sorting, no allocation.
+func (s *Snapshot) IntentionsFor(head string) EdgeSeq {
+	h, ok := s.sym[head]
+	if !ok {
+		return EdgeSeq{}
+	}
+	return EdgeSeq{s: s, idx: s.byHead.row(h)}
+}
+
+// relatedScratch is the reusable accumulator for the two-hop
+// RelatedProducts walk: a dense per-node score array plus the touched
+// set and the (candidate, tail) via pairs. Pooled on the snapshot so
+// steady-state walks allocate only their result.
+type relatedScratch struct {
+	score []float64
+	seen  []int32
+	pairs []viaPair
+}
+
+type viaPair struct{ cand, tail int32 }
+
+// RelatedProducts walks head → intention → product two-hop paths over
+// interned int IDs and returns up to k products sharing intentions with
+// the head, best first. Semantically identical to Graph.RelatedProducts
+// (bitwise-equal scores, same ordering); the CSR walk takes no locks
+// and builds no maps.
+func (s *Snapshot) RelatedProducts(head string, k int) []Related {
+	h, ok := s.sym[head]
+	if !ok {
+		return []Related{}
+	}
+	sc := s.scratch.Get().(*relatedScratch)
+	if len(sc.score) < len(s.ids) {
+		sc.score = make([]float64, len(s.ids))
+	}
+	for _, ei := range s.byHead.row(h) {
+		t := s.eTail[ei]
+		for _, bi := range s.byTail.row(t) {
+			bh := s.eHead[bi]
+			if bh == h || s.ntypes[bh] != NodeProduct {
+				continue
+			}
+			w := s.eTyp[ei] * s.eTyp[bi] * float64(min(s.eSup[ei], s.eSup[bi]))
+			if w <= 0 {
+				w = 0.01
+			}
+			if sc.score[bh] == 0 {
+				sc.seen = append(sc.seen, bh)
+			}
+			sc.score[bh] += w
+			sc.pairs = append(sc.pairs, viaPair{cand: bh, tail: t})
+		}
+	}
+	// Group via pairs per candidate with labels ascending; consecutive
+	// dedupe below matches the legacy label-set semantics (distinct
+	// tails can share a label).
+	sort.Slice(sc.pairs, func(a, b int) bool {
+		if sc.pairs[a].cand != sc.pairs[b].cand {
+			return sc.pairs[a].cand < sc.pairs[b].cand
+		}
+		return s.labels[sc.pairs[a].tail] < s.labels[sc.pairs[b].tail]
+	})
+	out := make([]Related, 0, len(sc.seen))
+	for i := 0; i < len(sc.pairs); {
+		c := sc.pairs[i].cand
+		var via []string
+		j := i
+		for ; j < len(sc.pairs) && sc.pairs[j].cand == c; j++ {
+			lbl := s.labels[sc.pairs[j].tail]
+			if len(via) == 0 || via[len(via)-1] != lbl {
+				via = append(via, lbl)
+			}
+		}
+		out = append(out, Related{
+			ProductID: s.ids[c],
+			Label:     s.labels[c],
+			Score:     sc.score[c],
+			Via:       via,
+		})
+		i = j
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	// Reset and recycle the scratch.
+	for _, c := range sc.seen {
+		sc.score[c] = 0
+	}
+	sc.seen = sc.seen[:0]
+	sc.pairs = sc.pairs[:0]
+	s.scratch.Put(sc)
+	return out
+}
+
+// ComputeStats builds graph statistics from the frozen arrays.
+func (s *Snapshot) ComputeStats() Stats {
+	st := Stats{
+		Nodes:     len(s.ids),
+		Edges:     len(s.eHead),
+		Relations: len(s.rels),
+		Domains:   len(s.doms),
+		PerDomain: map[catalog.Category]DomainStats{},
+	}
+	for di, d := range s.doms {
+		ds := DomainStats{}
+		for _, e := range s.byDom.row(int32(di)) {
+			if s.eBeh[e] == know.SearchBuy {
+				ds.SearchBuyEdges++
+			} else {
+				ds.CoBuyEdges++
+			}
+		}
+		st.PerDomain[d] = ds
+	}
+	return st
+}
+
+// BuildHierarchy organizes the snapshot's intention tails into the same
+// specialization forest as Graph.BuildHierarchy (identical output: both
+// feed the shared assembler identical per-tail aggregates).
+func (s *Snapshot) BuildHierarchy(minSupport int) []*HierarchyNode {
+	byTail := map[string]*tailInfo{}
+	for i := range s.eHead {
+		t := s.eTail[i]
+		tailID := s.ids[t]
+		in := byTail[tailID]
+		if in == nil {
+			toks := map[string]bool{}
+			for _, tok := range textproc.StemAll(textproc.ContentTokens(s.labels[t])) {
+				toks[tok] = true
+			}
+			in = &tailInfo{id: tailID, label: s.labels[t], tokens: toks, products: map[string]bool{}}
+			byTail[tailID] = in
+		}
+		in.count += int(s.eSup[i])
+		if h := s.eHead[i]; s.ntypes[h] == NodeProduct {
+			in.products[s.labels[h]] = true
+		}
+	}
+	return assembleHierarchy(byTail, minSupport)
+}

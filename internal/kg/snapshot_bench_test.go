@@ -1,0 +1,148 @@
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+)
+
+// The benchmark world: a serving-shaped graph (hundreds of products and
+// queries funneling into a shared intention vocabulary) built once and
+// frozen once. Compare the legacy locked path against the snapshot with
+// `go test -bench='IntentionsFor|RelatedProducts|Freeze' -benchmem
+// -cpu 1,4,8 ./internal/kg` — the -cpu sweep exposes the RWMutex
+// traffic the snapshot removes.
+var (
+	benchOnce  sync.Once
+	benchGraph *Graph
+	benchSnap  *Snapshot
+	benchHeads []string
+)
+
+func benchWorld(b *testing.B) (*Graph, *Snapshot, []string) {
+	b.Helper()
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		g := New()
+		rels := []relations.Relation{
+			relations.UsedForEve, relations.CapableOf, relations.UsedBy,
+			relations.IsA, relations.UsedInLoc, relations.UsedWith,
+		}
+		domains := []catalog.Category{catalog.Sports, catalog.HomeKitchen, catalog.Electronics}
+		tails := make([]string, 400)
+		for i := range tails {
+			tails[i] = fmt.Sprintf("intent activity %03d", i)
+		}
+		for i := 0; i < 24000; i++ {
+			c := know.Candidate{
+				ID:             i,
+				Domain:         domains[rng.Intn(len(domains))],
+				Relation:       rels[rng.Intn(len(rels))],
+				Tail:           tails[rng.Intn(len(tails))],
+				PlausibleScore: 0.5 + rng.Float64()/2,
+				TypicalScore:   rng.Float64(),
+			}
+			if i%2 == 0 {
+				c.Behavior = know.SearchBuy
+				c.Query = fmt.Sprintf("query %03d", rng.Intn(500))
+				c.ProductA = fmt.Sprintf("P%04d", rng.Intn(1500))
+			} else {
+				c.Behavior = know.CoBuy
+				c.ProductA = fmt.Sprintf("P%04d", rng.Intn(1500))
+				c.ProductB = fmt.Sprintf("P%04d", rng.Intn(1500))
+			}
+			if err := g.AddAssertion(c); err != nil {
+				panic(err)
+			}
+		}
+		benchGraph = g
+		benchSnap = g.Freeze()
+		for i := 0; i < 256; i++ {
+			benchHeads = append(benchHeads, ProductID(fmt.Sprintf("P%04d", rng.Intn(1500))))
+		}
+	})
+	return benchGraph, benchSnap, benchHeads
+}
+
+// BenchmarkGraphIntentionsFor is the legacy locked path: RLock, map
+// lookups, a fresh []Edge, and a sort on every call.
+func BenchmarkGraphIntentionsFor(b *testing.B) {
+	g, _, heads := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			es := g.IntentionsFor(heads[i%len(heads)])
+			for j := range es {
+				allocSink += es[j].TypicalScore
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkSnapshotIntentionsFor is the frozen path: a pre-sorted CSR
+// row view — no lock, no sort, no allocation.
+func BenchmarkSnapshotIntentionsFor(b *testing.B) {
+	_, s, heads := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			seq := s.IntentionsFor(heads[i%len(heads)])
+			for j := 0; j < seq.Len(); j++ {
+				allocSink += seq.At(j).TypicalScore
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkGraphRelatedProducts is the legacy two-hop walk: one RLock
+// plus per-call maps and sorts over materialized edges.
+func BenchmarkGraphRelatedProducts(b *testing.B) {
+	g, _, heads := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			allocSink += float64(len(g.RelatedProducts(heads[i%len(heads)], 10)))
+			i++
+		}
+	})
+}
+
+// BenchmarkSnapshotRelatedProducts is the frozen two-hop CSR walk over
+// interned int IDs with a pooled scratch accumulator.
+func BenchmarkSnapshotRelatedProducts(b *testing.B) {
+	_, s, heads := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			allocSink += float64(len(s.RelatedProducts(heads[i%len(heads)], 10)))
+			i++
+		}
+	})
+}
+
+// BenchmarkSnapshotFreeze measures the once-per-refresh cost of
+// building the immutable view (interning + CSR construction + sorts).
+func BenchmarkSnapshotFreeze(b *testing.B) {
+	g, _, _ := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := g.Freeze()
+		allocSink += float64(s.NumEdges())
+	}
+}

@@ -1,0 +1,233 @@
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+)
+
+// randomGraph builds a randomized graph whose shape stresses every
+// equivalence dimension: duplicate assertions (support merging), score
+// ties (tie-break ordering), tails shared across relations (label
+// collisions in via sets and the hierarchy), and both behavior types.
+func randomGraph(t testing.TB, rng *rand.Rand, nCands int) *Graph {
+	t.Helper()
+	g := New()
+	rels := []relations.Relation{
+		relations.UsedForEve, relations.CapableOf, relations.UsedBy,
+		relations.IsA, relations.UsedInLoc,
+	}
+	domains := []catalog.Category{catalog.Sports, catalog.HomeKitchen, catalog.Electronics}
+	tails := []string{
+		"camping", "winter camping", "lakeside camping", "holding snacks",
+		"office work", "walking the dog", "camping", "morning runs",
+	}
+	// Quantized scores generate deliberate ties.
+	scores := []float64{0.2, 0.4, 0.6, 0.8, 0.8, 1.0}
+	for i := 0; i < nCands; i++ {
+		c := know.Candidate{
+			ID:             i,
+			Domain:         domains[rng.Intn(len(domains))],
+			Relation:       rels[rng.Intn(len(rels))],
+			Tail:           tails[rng.Intn(len(tails))],
+			PlausibleScore: scores[rng.Intn(len(scores))],
+			TypicalScore:   scores[rng.Intn(len(scores))],
+		}
+		if rng.Intn(2) == 0 {
+			c.Behavior = know.SearchBuy
+			c.Query = fmt.Sprintf("query %d", rng.Intn(12))
+			c.ProductA = fmt.Sprintf("P%02d", rng.Intn(20))
+		} else {
+			c.Behavior = know.CoBuy
+			c.ProductA = fmt.Sprintf("P%02d", rng.Intn(20))
+			c.ProductB = fmt.Sprintf("P%02d", rng.Intn(20))
+		}
+		if err := g.AddAssertion(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// sortEdgesCanonical orders edges by their unique (head, relation,
+// tail) key for set comparison of index queries whose legacy order is
+// unspecified (insertion order).
+func sortEdgesCanonical(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Head != es[j].Head {
+			return es[i].Head < es[j].Head
+		}
+		if es[i].Relation != es[j].Relation {
+			return es[i].Relation < es[j].Relation
+		}
+		return es[i].Tail < es[j].Tail
+	})
+}
+
+// TestSnapshotEquivalence is the randomized property test proving the
+// frozen read path agrees with the locked Graph API — including
+// tie-break ordering for the order-specified queries and bitwise score
+// equality for RelatedProducts.
+func TestSnapshotEquivalence(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			g := randomGraph(t, rng, 40+rng.Intn(260))
+			s := g.Freeze()
+
+			if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() || s.NumRelations() != g.NumRelations() {
+				t.Fatalf("counts differ: snapshot %d/%d/%d graph %d/%d/%d",
+					s.NumNodes(), s.NumEdges(), s.NumRelations(),
+					g.NumNodes(), g.NumEdges(), g.NumRelations())
+			}
+			if !reflect.DeepEqual(s.Nodes(), g.Nodes()) {
+				t.Fatal("Nodes() differ")
+			}
+			if !reflect.DeepEqual(s.Edges(), g.Edges()) {
+				t.Fatal("Edges() differ")
+			}
+			if !reflect.DeepEqual(s.ComputeStats(), g.ComputeStats()) {
+				t.Fatalf("stats differ:\nsnapshot %+v\ngraph    %+v", s.ComputeStats(), g.ComputeStats())
+			}
+
+			for _, n := range g.Nodes() {
+				sn, ok := s.Node(n.ID)
+				if !ok || sn != n {
+					t.Fatalf("Node(%q) = %+v, %v; want %+v", n.ID, sn, ok, n)
+				}
+
+				// Unordered index queries: compare as canonical sets.
+				gf, sf := g.EdgesFrom(n.ID), s.EdgesFrom(n.ID)
+				sortEdgesCanonical(gf)
+				sortEdgesCanonical(sf)
+				if !reflect.DeepEqual(gf, sf) {
+					t.Fatalf("EdgesFrom(%q) differ", n.ID)
+				}
+				gt, st := g.EdgesTo(n.ID), s.EdgesTo(n.ID)
+				sortEdgesCanonical(gt)
+				sortEdgesCanonical(st)
+				if !reflect.DeepEqual(gt, st) {
+					t.Fatalf("EdgesTo(%q) differ", n.ID)
+				}
+
+				// Order-specified queries: exact equality, ties included.
+				want := g.IntentionsFor(n.ID)
+				got := s.IntentionsFor(n.ID).Edges()
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("IntentionsFor(%q) differ:\ngraph    %+v\nsnapshot %+v", n.ID, want, got)
+				}
+				for _, k := range []int{1, 3, 1 << 20} {
+					wr := g.RelatedProducts(n.ID, k)
+					gr := s.RelatedProducts(n.ID, k)
+					if !reflect.DeepEqual(wr, gr) {
+						t.Fatalf("RelatedProducts(%q, %d) differ:\ngraph    %+v\nsnapshot %+v", n.ID, k, wr, gr)
+					}
+				}
+			}
+
+			for _, r := range relations.All() {
+				ge, se := g.EdgesByRelation(r), s.EdgesByRelation(r)
+				sortEdgesCanonical(ge)
+				sortEdgesCanonical(se)
+				if !reflect.DeepEqual(ge, se) {
+					t.Fatalf("EdgesByRelation(%q) differ", r)
+				}
+			}
+			for _, d := range catalog.Categories() {
+				ge, se := g.EdgesInDomain(d), s.EdgesInDomain(d)
+				sortEdgesCanonical(ge)
+				sortEdgesCanonical(se)
+				if !reflect.DeepEqual(ge, se) {
+					t.Fatalf("EdgesInDomain(%q) differ", d)
+				}
+			}
+
+			for _, minSupport := range []int{1, 2, 4} {
+				if !reflect.DeepEqual(g.BuildHierarchy(minSupport), s.BuildHierarchy(minSupport)) {
+					t.Fatalf("BuildHierarchy(%d) differs", minSupport)
+				}
+			}
+
+			// Unknown IDs answer empty on both paths.
+			if _, ok := s.Node("p:NOPE"); ok {
+				t.Fatal("unknown node found in snapshot")
+			}
+			if n := s.IntentionsFor("p:NOPE").Len(); n != 0 {
+				t.Fatalf("unknown head has %d intentions", n)
+			}
+			if n := len(s.RelatedProducts("p:NOPE", 5)); n != 0 {
+				t.Fatalf("unknown head has %d related products", n)
+			}
+		})
+	}
+}
+
+// TestSnapshotEmptyGraph freezes an empty graph.
+func TestSnapshotEmptyGraph(t *testing.T) {
+	s := New().Freeze()
+	if s.NumNodes() != 0 || s.NumEdges() != 0 || s.NumRelations() != 0 {
+		t.Fatal("empty graph snapshot not empty")
+	}
+	if len(s.Edges()) != 0 || len(s.Nodes()) != 0 {
+		t.Fatal("empty graph snapshot has contents")
+	}
+	if s.IntentionsFor("p:P1").Len() != 0 {
+		t.Fatal("empty snapshot has intentions")
+	}
+}
+
+var allocSink float64
+
+// TestSnapshotIntentionsForZeroAlloc is the hot-path guarantee: the
+// frozen IntentionsFor view performs zero heap allocations.
+func TestSnapshotIntentionsForZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomGraph(t, rng, 300).Freeze()
+	var head string
+	best := 0
+	for _, n := range s.Nodes() {
+		if l := s.IntentionsFor(n.ID).Len(); l > best {
+			best, head = l, n.ID
+		}
+	}
+	if best == 0 {
+		t.Fatal("no head with intentions")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		seq := s.IntentionsFor(head)
+		for i := 0; i < seq.Len(); i++ {
+			allocSink += seq.At(i).TypicalScore
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot.IntentionsFor allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestSnapshotIsImmutableView pins the RCU contract: mutations to the
+// source graph after Freeze are invisible to the snapshot.
+func TestSnapshotIsImmutableView(t *testing.T) {
+	g := buildTestGraph(t)
+	s := g.Freeze()
+	edgesBefore := s.NumEdges()
+	if err := g.AddAssertion(searchCand(99, "new query", "P9", "brand new intent", relations.UsedAs)); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != edgesBefore {
+		t.Fatal("snapshot observed a post-freeze write")
+	}
+	if _, ok := s.Node(QueryID("new query")); ok {
+		t.Fatal("snapshot sees post-freeze node")
+	}
+	s2 := g.Freeze()
+	if s2.NumEdges() != g.NumEdges() {
+		t.Fatal("refreeze missed the new edges")
+	}
+}

@@ -54,6 +54,10 @@ type Config struct {
 	// ErrorAllowlist lists callees whose dropped errors are tolerated,
 	// keyed as "pkg.Func" or "(*pkg.Type).Method".
 	ErrorAllowlist []string
+	// FrozenServingPaths lists packages on the serving read path, which
+	// must query frozen kg.Snapshot views instead of the locked
+	// kg.Graph.
+	FrozenServingPaths []string
 }
 
 // DefaultConfig returns the repo's own policy: wall-clock reads are
@@ -80,6 +84,12 @@ func DefaultConfig() Config {
 			"(*bytes.Buffer).Write", "(*bytes.Buffer).WriteString",
 			"(*bytes.Buffer).WriteByte", "(*bytes.Buffer).WriteRune",
 		},
+		FrozenServingPaths: []string{
+			"cosmo/internal/serving",
+			"cosmo/internal/navigation",
+			"cosmo/cmd/cosmo-serve",
+			"cosmo/cmd/cosmo-kg",
+		},
 	}
 }
 
@@ -91,7 +101,8 @@ type Check struct {
 }
 
 // AllChecks returns the registry in deterministic order. Adding check
-// six means writing one Run function against Pass and listing it here.
+// seven means writing one Run function against Pass and listing it
+// here.
 func AllChecks() []Check {
 	return []Check{
 		seededRandCheck,
@@ -99,6 +110,7 @@ func AllChecks() []Check {
 		mutexHygieneCheck,
 		unboundedAppendCheck,
 		droppedErrorCheck,
+		frozenServingCheck,
 	}
 }
 

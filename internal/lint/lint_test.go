@@ -158,6 +158,30 @@ func TestFixtures(t *testing.T) {
 			},
 		},
 		{
+			name:    "frozen-serving",
+			fixture: "frozenserving",
+			config: func(c *Config) {
+				c.Checks = []string{"frozen-serving"}
+				c.FrozenServingPaths = []string{"cosmo/internal/lint/testdata/src/frozenserving"}
+			},
+			want: []string{
+				"bad.go:8:frozen-serving",
+				"bad.go:12:frozen-serving",
+				"bad.go:17:frozen-serving",
+				"bad.go:17:frozen-serving",
+				"bad.go:21:frozen-serving",
+			},
+		},
+		{
+			name:    "frozen-serving-outside-serving",
+			fixture: "frozenserving",
+			config: func(c *Config) {
+				c.Checks = []string{"frozen-serving"}
+				c.FrozenServingPaths = nil // offline pipeline code may use the locked graph
+			},
+			want: nil,
+		},
+		{
 			name:    "lint-ignore-directive-validation",
 			fixture: "directives",
 			want: []string{
@@ -213,10 +237,10 @@ func TestFindingJSON(t *testing.T) {
 	}
 }
 
-// TestCheckRegistry guards the shipped check set: five invariant checks,
+// TestCheckRegistry guards the shipped check set: six invariant checks,
 // deterministic order, non-empty docs.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"seeded-rand", "wallclock", "mutex-hygiene", "unbounded-append", "dropped-error"}
+	want := []string{"seeded-rand", "wallclock", "mutex-hygiene", "unbounded-append", "dropped-error", "frozen-serving"}
 	checks := AllChecks()
 	if len(checks) != len(want) {
 		t.Fatalf("got %d checks, want %d", len(checks), len(want))

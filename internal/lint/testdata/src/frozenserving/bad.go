@@ -1,0 +1,22 @@
+package frozenserving
+
+import "cosmo/internal/kg"
+
+// Known-bad: the serving path querying the locked graph directly.
+
+func serveIntentions(g *kg.Graph, head string) int {
+	return len(g.IntentionsFor(head)) // line 8: finding
+}
+
+func serveRelated(g *kg.Graph, id string) int {
+	related := g.RelatedProducts(id, 10) // line 12: finding
+	return len(related)
+}
+
+func serveStats(g *kg.Graph) (int, int) {
+	return g.NumNodes(), g.NumEdges() // line 17: two findings
+}
+
+func serveHierarchy(g *kg.Graph) int {
+	return len(g.BuildHierarchy(2)) // line 21: finding
+}

@@ -1,0 +1,19 @@
+package frozenserving
+
+import "cosmo/internal/kg"
+
+// Known-good: freeze once and query the snapshot. The constructive
+// Graph API (AddNode, Freeze) stays legal on the serving path.
+
+func buildAndServe() int {
+	g := kg.New()
+	g.AddNode(kg.Node{ID: "q:camping", Type: kg.NodeQuery, Label: "camping"})
+	snap := g.Freeze()
+	seq := snap.IntentionsFor("q:camping")
+	return seq.Len() + len(snap.RelatedProducts("p:P1", 5)) + snap.NumNodes()
+}
+
+func serveFromSnapshot(snap *kg.Snapshot) int {
+	s := snap.ComputeStats()
+	return s.Nodes + len(snap.BuildHierarchy(2))
+}

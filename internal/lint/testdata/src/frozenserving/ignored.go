@@ -1,0 +1,10 @@
+package frozenserving
+
+import "cosmo/internal/kg"
+
+// Suppression: a reasoned directive tolerates a locked read off the
+// hot path.
+
+func adminDump(g *kg.Graph) int {
+	return len(g.Edges()) //cosmo:lint-ignore frozen-serving admin-only debug dump, never on the request path
+}

@@ -81,7 +81,7 @@ func TestThreeLayerNavigationFlow(t *testing.T) {
 	// discovery → attribute refinement.
 	cat := catalog.Generate(catalog.Config{ProductsPerType: 8, Seed: 1})
 	g := oracleKG(t, cat)
-	nav := NewNavigator(g, 1)
+	nav := NewNavigator(g.Freeze(), 1)
 
 	sess := nav.StartSession("camping")
 	opts := sess.Options(5)

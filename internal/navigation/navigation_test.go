@@ -38,7 +38,7 @@ func oracleKG(tb testing.TB, cat *catalog.Catalog) *kg.Graph {
 func navWorld(tb testing.TB) (*catalog.Catalog, *Navigator) {
 	cat := catalog.Generate(catalog.Config{ProductsPerType: 4, Seed: 1})
 	g := oracleKG(tb, cat)
-	return cat, NewNavigator(g, 1)
+	return cat, NewNavigator(g.Freeze(), 1)
 }
 
 func TestRefineBroadQuery(t *testing.T) {

@@ -30,10 +30,14 @@ type Navigator struct {
 	byStem map[string][]*kg.HierarchyNode // content stem -> nodes
 }
 
-// NewNavigator indexes the graph's intention hierarchy.
-func NewNavigator(g *kg.Graph, minSupport int) *Navigator {
+// NewNavigator indexes the intention hierarchy of a frozen knowledge
+// graph. Navigation is an online surface, so it reads the immutable
+// snapshot — never the locked mutable Graph (enforced by the
+// frozen-serving lint check); a refresh builds a new Navigator from a
+// new snapshot.
+func NewNavigator(snap *kg.Snapshot, minSupport int) *Navigator {
 	n := &Navigator{byStem: map[string][]*kg.HierarchyNode{}}
-	n.roots = g.BuildHierarchy(minSupport)
+	n.roots = snap.BuildHierarchy(minSupport)
 	var walk func(node *kg.HierarchyNode)
 	walk = func(node *kg.HierarchyNode) {
 		for _, s := range textproc.StemAll(textproc.ContentTokens(node.Label)) {

@@ -3,7 +3,10 @@ package serving
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"cosmo/internal/kg"
 )
 
 // Responder runs model inference for one query — the expensive path that
@@ -52,6 +55,12 @@ type Deployment struct {
 	// interactions is the feedback loop: query -> interaction count,
 	// feeding the next refresh's frequent-search selection.
 	interactions *stripedCounter
+
+	// kgSnap is the frozen knowledge-graph read path. Requests load it
+	// with one atomic read and traverse it lock-free; DailyRefresh
+	// swaps in a fresh snapshot RCU-style — in-flight requests keep
+	// reading the old one until they finish, and the swap never blocks.
+	kgSnap atomic.Pointer[kg.Snapshot]
 }
 
 // DeployConfig configures a deployment.
@@ -91,6 +100,23 @@ func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
 		latency:      NewHistogram(nil),
 		interactions: newStripedCounter(interactionStripes),
 	}
+}
+
+// SetKG installs a frozen knowledge-graph snapshot as the serving read
+// path (lock-free atomic store; nil is ignored so a refresh without a
+// rebuilt KG keeps serving the current one).
+func (d *Deployment) SetKG(s *kg.Snapshot) {
+	if s != nil {
+		d.kgSnap.Store(s)
+	}
+}
+
+// KG returns the current frozen knowledge-graph snapshot (nil until
+// SetKG installs one). The returned snapshot is immutable and safe to
+// traverse without coordination for as long as the caller holds it,
+// even across a concurrent DailyRefresh swap.
+func (d *Deployment) KG() *kg.Snapshot {
+	return d.kgSnap.Load()
 }
 
 // Version returns the current model version.
@@ -169,11 +195,14 @@ func (d *Deployment) StartWorker(ctx context.Context, interval time.Duration, ba
 
 // DailyRefresh swaps in a refreshed model ("Model Deployment: dynamic
 // ingestion of customer behavior session logs and efficient model
-// updates"), clears the daily cache layer, and rebuilds the yearly layer
-// from the most-interacted queries of the feedback loop. A negative
-// yearlyTop is treated as 0 (refresh the model, install no yearly
-// entries).
-func (d *Deployment) DailyRefresh(responder Responder, yearlyTop int) {
+// updates"), atomically publishes the refreshed KG snapshot (RCU:
+// requests already walking the old snapshot finish on it; new requests
+// see the new one; nil keeps the current snapshot), clears the daily
+// cache layer, and rebuilds the yearly layer from the most-interacted
+// queries of the feedback loop. A negative yearlyTop is treated as 0
+// (refresh the model, install no yearly entries).
+func (d *Deployment) DailyRefresh(responder Responder, kgSnap *kg.Snapshot, yearlyTop int) {
+	d.SetKG(kgSnap)
 	d.mu.Lock()
 	d.responder = responder
 	d.version++

@@ -4,15 +4,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // NewHTTPHandler exposes a deployment over HTTP:
 //
-//	GET /intent?q=<query>  -> structured intent feature (200) or 202 when
-//	                          queued for batch processing
-//	GET /stats             -> cache and latency statistics (JSON)
-//	GET /metrics           -> Prometheus-style plaintext metrics
-//	GET /healthz           -> liveness
+//	GET /intent?q=<query>      -> structured intent feature (200) or 202
+//	                              when queued for batch processing
+//	GET /intentions?id=<node>  -> KG intentions for a node, best first
+//	                              (frozen-snapshot read, no locks)
+//	GET /related?id=<node>     -> products sharing intentions with the
+//	                              node (two-hop frozen-snapshot walk)
+//	GET /kg                    -> snapshot size summary (JSON)
+//	GET /stats                 -> cache and latency statistics (JSON)
+//	GET /metrics               -> Prometheus-style plaintext metrics
+//	GET /healthz               -> liveness
+//
+// The KG endpoints answer 503 until SetKG installs a snapshot.
 func NewHTTPHandler(d *Deployment) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/intent", func(w http.ResponseWriter, r *http.Request) {
@@ -34,6 +42,65 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(f) //cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
 	})
+	mux.HandleFunc("/intentions", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		snap := d.KG()
+		if snap == nil {
+			http.Error(w, "knowledge graph not loaded", http.StatusServiceUnavailable)
+			return
+		}
+		k := parseK(r.URL.Query().Get("k"), 10)
+		seq := snap.IntentionsFor(id)
+		type intention struct {
+			Relation  string  `json:"relation"`
+			Intention string  `json:"intention"`
+			Plausible float64 `json:"plausible"`
+			Typical   float64 `json:"typical"`
+			Support   int     `json:"support"`
+		}
+		n := seq.Len()
+		if n > k {
+			n = k
+		}
+		out := make([]intention, n)
+		for i := 0; i < n; i++ {
+			e := seq.At(i)
+			tail, _ := snap.Node(e.Tail)
+			out[i] = intention{
+				Relation:  string(e.Relation),
+				Intention: tail.Label,
+				Plausible: e.PlausibleScore,
+				Typical:   e.TypicalScore,
+				Support:   e.Support,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": id, "intentions": out})
+	})
+	mux.HandleFunc("/related", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		snap := d.KG()
+		if snap == nil {
+			http.Error(w, "knowledge graph not loaded", http.StatusServiceUnavailable)
+			return
+		}
+		k := parseK(r.URL.Query().Get("k"), 10)
+		w.Header().Set("Content-Type", "application/json")
+		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"id":      id,
+			"related": snap.RelatedProducts(id, k),
+		})
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := d.LatencyPercentiles()
 		stats := d.Cache.Stats()
@@ -45,6 +112,20 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			"latency_ms": map[string]float64{"p50": p50, "p99": p99},
 			"version":    d.Version(),
 			"features":   d.Store.Len(),
+		})
+	})
+	mux.HandleFunc("/kg", func(w http.ResponseWriter, r *http.Request) {
+		snap := d.KG()
+		if snap == nil {
+			http.Error(w, "knowledge graph not loaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"nodes":     snap.NumNodes(),
+			"edges":     snap.NumEdges(),
+			"relations": snap.NumRelations(),
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +158,27 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		fmt.Fprintf(w, "cosmo_request_latency_ms_count %d\n", hist.Total)
 		fmt.Fprintf(w, "cosmo_model_version %d\n", d.Version())
 		fmt.Fprintf(w, "cosmo_feature_store_size %d\n", d.Store.Len())
+		if snap := d.KG(); snap != nil {
+			fmt.Fprintf(w, "cosmo_kg_nodes %d\n", snap.NumNodes())
+			fmt.Fprintf(w, "cosmo_kg_edges %d\n", snap.NumEdges())
+		}
 	})
 	return mux
+}
+
+// parseK parses a positive result-count parameter, falling back to def
+// on absent or malformed input and capping at 1000 so a hostile k
+// cannot force an unbounded response.
+func parseK(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k <= 0 {
+		return def
+	}
+	if k > 1000 {
+		return 1000
+	}
+	return k
 }

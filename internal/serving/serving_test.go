@@ -194,7 +194,7 @@ func TestDailyRefreshRotatesModelAndCaches(t *testing.T) {
 	}
 	d.HandleQuery("cold")
 	d.RunBatch(10)
-	d.DailyRefresh(echoResponder("v2"), 1)
+	d.DailyRefresh(echoResponder("v2"), nil, 1)
 	if d.Version() != 2 {
 		t.Fatalf("version = %d", d.Version())
 	}
@@ -218,7 +218,7 @@ func TestDailyRefreshNegativeYearlyTop(t *testing.T) {
 	d := NewDeployment(DeployConfig{DailyCacheCap: 16}, echoResponder("v1"))
 	d.HandleQuery("camping")
 	d.RunBatch(10)
-	d.DailyRefresh(echoResponder("v2"), -5) // must not panic
+	d.DailyRefresh(echoResponder("v2"), nil, -5) // must not panic
 	if d.Version() != 2 {
 		t.Errorf("version = %d, want 2", d.Version())
 	}
@@ -500,7 +500,7 @@ func TestFeatureTimestamps(t *testing.T) {
 		t.Errorf("CreatedAt = %v, want %v", f.CreatedAt, clock.Now())
 	}
 	clock.Advance(24 * time.Hour)
-	d.DailyRefresh(echoResponder("v2"), 4)
+	d.DailyRefresh(echoResponder("v2"), nil, 4)
 	f2, _ := d.Store.Get("camping")
 	if !f2.CreatedAt.After(f.CreatedAt) {
 		t.Error("refresh should restamp the feature")

@@ -82,7 +82,7 @@ func TestDeploymentConcurrentWithWorkerAndRefresh(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 10; i++ {
-			d.DailyRefresh(echoResponder(fmt.Sprintf("v%d", i+2)), 16)
+			d.DailyRefresh(echoResponder(fmt.Sprintf("v%d", i+2)), nil, 16)
 			d.LatencyPercentiles()
 			d.TopInteractions(5)
 		}
