@@ -1,16 +1,21 @@
 // Command cosmo-loadgen drives a running cosmo-serve instance with
 // Zipf-like query traffic and reports throughput, hit behaviour and
-// latency — the client side of the Figure 5 serving evaluation. After
-// the run it scrapes /stats for the server-side view (hit rate, queue
-// depth, and how many queued misses the bounded batch queue dropped).
+// latency — the client side of the Figure 5 serving evaluation. It
+// waits for the server's /readyz before sending traffic, and with
+// -fault-rate it aborts a seeded-deterministic fraction of requests
+// mid-flight (faults.Sequence), exercising the server's handling of
+// disappearing clients. After the run it scrapes /stats for the
+// server-side view (hit rate, queue depth, bounded-queue drops, batch
+// requeues and breaker state).
 //
 // Usage:
 //
 //	cosmo-serve -addr :8080 &
-//	cosmo-loadgen -target http://localhost:8080 -requests 5000 -workers 8
+//	cosmo-loadgen -target http://localhost:8080 -requests 5000 -workers 8 [-fault-rate 0.1 -fault-seed 1]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cosmo/internal/faults"
 )
 
 // queryPool is a representative broad-intent vocabulary; cosmo-serve
@@ -42,6 +49,9 @@ func main() {
 	requests := flag.Int("requests", 2000, "total requests to send")
 	workers := flag.Int("workers", 4, "concurrent workers")
 	seed := flag.Int64("seed", 1, "traffic seed")
+	readyWait := flag.Duration("ready-wait", 30*time.Second, "how long to wait for the server's /readyz")
+	faultRate := flag.Float64("fault-rate", 0, "client-side abort rate [0,1] (cancel requests mid-flight)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic abort sequence")
 	flag.Parse()
 	if *workers < 1 {
 		*workers = 1
@@ -50,7 +60,12 @@ func main() {
 		*requests = 1
 	}
 
-	var served, queued, failed atomic.Int64
+	if err := waitReady(*target, *readyWait); err != nil {
+		log.Fatal(err)
+	}
+
+	aborts := faults.NewSequence(*faultSeed, *faultRate)
+	var served, queued, failed, aborted atomic.Int64
 	// Every request gets a latency slot: worker w sends count(w)
 	// requests starting at offset(w), so the remainder when requests is
 	// not divisible by workers is still sent and no zero-valued tail
@@ -77,11 +92,30 @@ func main() {
 			for i := 0; i < n; i++ {
 				// Zipf-ish skew toward the head of the pool.
 				q := queryPool[int(rng.Float64()*rng.Float64()*float64(len(queryPool)))]
-				t0 := time.Now()
-				resp, err := client.Get(*target + "/intent?q=" + url.QueryEscape(q))
-				dt := float64(time.Since(t0).Microseconds()) / 1000.0
+				// Client-side chaos: a seeded fraction of requests is
+				// cancelled mid-flight, like a user abandoning a page.
+				rctx, rcancel := context.WithCancel(context.Background())
+				abort := aborts.Next()
+				if abort {
+					rcancel()
+				}
+				req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+					*target+"/intent?q="+url.QueryEscape(q), nil)
 				if err != nil {
+					rcancel()
 					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				dt := float64(time.Since(t0).Microseconds()) / 1000.0
+				rcancel()
+				if err != nil {
+					if abort {
+						aborted.Add(1)
+					} else {
+						failed.Add(1)
+					}
 					continue
 				}
 				//cosmo:lint-ignore dropped-error best-effort body drain so the connection is reused; latency was already recorded
@@ -123,14 +157,15 @@ func main() {
 		}
 		return latencies[i]
 	}
-	total := served.Load() + queued.Load() + failed.Load()
+	total := served.Load() + queued.Load() + failed.Load() + aborted.Load()
 	fmt.Printf("sent %d requests in %.1fs (%.0f rps, %d workers)\n",
 		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *workers)
-	fmt.Printf("served from cache: %d (%.1f%%), queued for batch: %d, failed: %d\n",
-		served.Load(), 100*float64(served.Load())/float64(total), queued.Load(), failed.Load())
+	fmt.Printf("served from cache: %d (%.1f%%), queued for batch: %d, failed: %d, aborted: %d\n",
+		served.Load(), 100*float64(served.Load())/float64(total), queued.Load(), failed.Load(), aborted.Load())
 	fmt.Printf("client latency: p50=%.1fms p99=%.1fms\n", pct(0.50), pct(0.99))
 
-	// Server-side view: hit rate, queue depth and bounded-queue drops.
+	// Server-side view: hit rate, queue depth, bounded-queue drops, and
+	// the fault-tolerance counters (requeues, stale serves, breaker).
 	resp, err := http.Get(*target + "/stats")
 	if err != nil {
 		log.Printf("stats scrape failed: %v", err)
@@ -143,6 +178,12 @@ func main() {
 			BatchQueued  int
 			BatchDropped int
 		} `json:"cache"`
+		Batch struct {
+			Requeued       uint64
+			RequeueDropped uint64
+			StaleServed    uint64
+		} `json:"batch"`
+		BreakerState string `json:"breaker_state"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		log.Printf("stats decode failed: %v", err)
@@ -150,4 +191,35 @@ func main() {
 	}
 	fmt.Printf("server: hit rate %.1f%%, batch queue depth %d, queue dropped %d\n",
 		stats.HitRate*100, stats.Cache.BatchQueued, stats.Cache.BatchDropped)
+	fmt.Printf("server: requeued %d, requeue-dropped %d, stale served %d",
+		stats.Batch.Requeued, stats.Batch.RequeueDropped, stats.Batch.StaleServed)
+	if stats.BreakerState != "" {
+		fmt.Printf(", breaker %s", stats.BreakerState)
+	}
+	fmt.Println()
+}
+
+// waitReady polls the server's /readyz until it reports 200, the
+// timeout passes, or the server is clearly absent. cosmo-serve runs its
+// whole offline pipeline before listening, so the load generator must
+// not start timing requests against a warming server.
+func waitReady(target string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		resp, err := client.Get(target + "/readyz")
+		if err == nil {
+			ready := resp.StatusCode == http.StatusOK
+			//cosmo:lint-ignore dropped-error best-effort body drain so the probe connection is reused
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close on a readiness probe
+			if ready {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", target, wait)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
 }

@@ -4,7 +4,16 @@
 // store and asynchronous sharded two-layer cache, with a background
 // batch worker and a periodic model-refresh loop. SIGINT/SIGTERM shut
 // the server down gracefully: in-flight requests finish and the batch
-// worker performs a final drain before exit.
+// worker drains the whole remaining queue before exit.
+//
+// The responder path is fallible end to end: model calls run under
+// per-attempt timeouts with bounded seeded-backoff retries behind a
+// circuit breaker (serving.Resilient), failed batch queries are
+// re-queued, a refresh that fails mid-rebuild aborts atomically, and
+// cache misses degrade to serving prior-version features flagged stale.
+// The -fault-* flags interpose a deterministic fault injector
+// (internal/faults) between the resilience layer and the model for
+// chaos-testing a live instance.
 //
 // The knowledge graph is served from an immutable frozen snapshot
 // (kg.Snapshot): the request path reads it lock-free through an atomic
@@ -14,9 +23,10 @@
 // Usage:
 //
 //	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
+//	            [-fault-rate 0.2 -fault-seed 1 -fault-hang-rate 0.05 -fault-panic-rate 0.05]
 //
 // Endpoints: GET /intent?q=..., GET /intentions?id=..., GET /related?id=...,
-// GET /kg, GET /stats, GET /metrics, GET /healthz.
+// GET /kg, GET /stats, GET /metrics, GET /healthz, GET /readyz.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"cosmo/internal/core"
+	"cosmo/internal/faults"
 	"cosmo/internal/serving"
 )
 
@@ -44,6 +55,14 @@ func main() {
 	batchSize := flag.Int("batch-size", 256, "max queries per batch run")
 	shards := flag.Int("shards", serving.DefaultCacheShards, "cache lock-stripe count")
 	queueCap := flag.Int("queue-cap", serving.DefaultQueueCap, "bounded batch-queue capacity")
+	callTimeout := flag.Duration("call-timeout", time.Second, "per-attempt responder timeout")
+	maxRetries := flag.Int("max-retries", 2, "responder retries per call")
+	faultRate := flag.Float64("fault-rate", 0, "injected responder error rate [0,1] (chaos mode)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (deterministic per seed)")
+	faultHangRate := flag.Float64("fault-hang-rate", 0, "injected hang rate [0,1]")
+	faultPanicRate := flag.Float64("fault-panic-rate", 0, "injected panic rate [0,1]")
+	faultLatencyRate := flag.Float64("fault-latency-rate", 0, "injected latency-spike rate [0,1]")
+	faultLatency := flag.Duration("fault-latency", 50*time.Millisecond, "injected latency-spike duration")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -59,7 +78,10 @@ func main() {
 	log.Printf("pipeline ready: frozen KG snapshot %d nodes / %d edges, COSMO-LM %d tails",
 		snap.NumNodes(), snap.NumEdges(), res.CosmoLM.KnownTails())
 
-	responder := serving.ResponderFunc(func(q string) serving.Feature {
+	model := serving.ContextResponderFunc(func(ctx context.Context, q string) (serving.Feature, error) {
+		if err := ctx.Err(); err != nil {
+			return serving.Feature{}, err
+		}
 		gens := res.CosmoLM.Generate("search query: "+q, "", "", 3)
 		f := serving.Feature{Query: q}
 		for _, g := range gens {
@@ -70,15 +92,39 @@ func main() {
 			f.SubCategory = gens[0].Tail
 			f.StrongIntent = gens[0].Score > 1.0
 		}
-		return f
+		return f, nil
 	})
 
-	dep := serving.NewDeployment(serving.DeployConfig{
+	// Chaos mode: interpose the deterministic fault injector between the
+	// resilience layer and the model so a live instance can be driven
+	// through outages reproducibly.
+	inner := serving.ContextResponder(model)
+	if *faultRate > 0 || *faultHangRate > 0 || *faultPanicRate > 0 || *faultLatencyRate > 0 {
+		inj := faults.New(faults.Config{
+			Seed:        *faultSeed,
+			ErrorRate:   *faultRate,
+			HangRate:    *faultHangRate,
+			PanicRate:   *faultPanicRate,
+			LatencyRate: *faultLatencyRate,
+			Latency:     *faultLatency,
+		})
+		inner = faults.Wrap(inner, inj)
+		log.Printf("chaos mode: injecting faults (seed %d, error %.2f, hang %.2f, panic %.2f, latency %.2f)",
+			*faultSeed, *faultRate, *faultHangRate, *faultPanicRate, *faultLatencyRate)
+	}
+	responder := serving.NewResilient(inner, serving.ResilienceConfig{
+		CallTimeout: *callTimeout,
+		MaxRetries:  *maxRetries,
+		Seed:        *faultSeed,
+	})
+
+	dep := serving.NewDeploymentContext(serving.DeployConfig{
 		DailyCacheCap: 4096,
 		CacheShards:   *shards,
 		QueueCap:      *queueCap,
 	}, responder)
 	dep.SetKG(snap)
+	dep.SetReady(true) // warmup (pipeline + KG install) is complete
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -86,7 +132,9 @@ func main() {
 	// Background batch worker ("Batch Processing and Cache Update").
 	workerDone := dep.StartWorker(ctx, *batchEvery, *batchSize)
 
-	// Daily refresh loop ("Model Deployment" + feedback loop).
+	// Daily refresh loop ("Model Deployment" + feedback loop). A failed
+	// refresh is atomic — the previous model, caches and KG snapshot keep
+	// serving — so the error is logged and the next tick retries.
 	go func() {
 		ticker := time.NewTicker(*refresh)
 		defer ticker.Stop()
@@ -98,15 +146,27 @@ func main() {
 				log.Print("daily refresh: rotating model, caches and KG snapshot")
 				// Freeze a fresh snapshot of the (re)built graph and swap
 				// it in; readers on the old snapshot are undisturbed.
-				dep.DailyRefresh(responder, res.KG.Freeze(), 2048)
+				if err := dep.DailyRefreshContext(ctx, responder, res.KG.Freeze(), 2048); err != nil {
+					log.Printf("daily refresh failed (previous model keeps serving): %v", err)
+				}
 			}
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: serving.NewHTTPHandler(dep)}
+	// Timeouts bound every connection phase so a slow or hostile client
+	// (slowloris) cannot pin a connection forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serving.NewHTTPHandler(dep),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
 		log.Print("shutting down...")
+		dep.SetReady(false) // /readyz flips first so load balancers drain
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -56,7 +56,9 @@ func main() {
 	fmt.Printf("  hit rate %.1f%% (yearly %d / daily %d)\n", s1.HitRate()*100, s1.YearlyHits, s1.DailyHits)
 
 	fmt.Println("daily refresh: new model version + KG snapshot swap + yearly preload from feedback loop")
-	dep.DailyRefresh(responder, res.KG.Freeze(), 512)
+	if err := dep.DailyRefresh(responder, res.KG.Freeze(), 512); err != nil {
+		log.Fatalf("daily refresh: %v", err)
+	}
 
 	fmt.Println("day 2 (warm yearly layer)...")
 	day(20000)

@@ -21,3 +21,15 @@ func shuffleSeeded(rng *rand.Rand, xs []int) {
 func zipf(rng *rand.Rand) *rand.Zipf {
 	return rand.NewZipf(rng, 1.1, 1, 1<<20)
 }
+
+// Known-good: counter-derived randomness that never touches math/rand at
+// all — a pure splitmix64 finalization of (seed, index), the idiom the
+// resilience backoff jitter and the fault injector use to stay
+// deterministic under concurrency.
+func derived(seed int64, n uint64) float64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -12,3 +12,18 @@ func diff(a, b time.Time) time.Duration {
 func addDay(t time.Time) time.Time {
 	return t.Add(24 * time.Hour)
 }
+
+// Known-good: waiting is not reading the clock. Timers and sleeps only
+// delay execution — they never observe wall time, so backoff loops and
+// injected latency (the resilience and faults packages) stay
+// reproducible. The check bans time.Now/Since/Until, not time.NewTimer.
+func pause(d time.Duration, done <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}

@@ -1,5 +1,7 @@
 package serving
 
+import "sync/atomic"
+
 // CacheStats reports cache behavior.
 type CacheStats struct {
 	Hits        int
@@ -10,6 +12,15 @@ type CacheStats struct {
 	DailySize   int
 	YearlySize  int
 	BatchQueued int
+	// BatchEnqueued counts misses actually pushed onto the batch queue
+	// (a de-duplicated miss on an already-queued query does not count).
+	// Together with BatchRequeued, BatchDropped and the deployment's
+	// BatchTotals it forms the conservation ledger the chaos tests
+	// assert: every push is eventually processed, re-queued or dropped.
+	BatchEnqueued int
+	// BatchRequeued counts failed queries pushed back by the batch
+	// processor for a later attempt.
+	BatchRequeued int
 	// BatchDropped counts misses evicted from the bounded batch queue
 	// before they could be processed (drop-oldest policy).
 	BatchDropped int
@@ -33,6 +44,8 @@ func (s *CacheStats) add(o CacheStats) {
 	s.DailySize += o.DailySize
 	s.YearlySize += o.YearlySize
 	s.BatchQueued += o.BatchQueued
+	s.BatchEnqueued += o.BatchEnqueued
+	s.BatchRequeued += o.BatchRequeued
 	s.BatchDropped += o.BatchDropped
 }
 
@@ -75,6 +88,10 @@ type CacheConfig struct {
 type AsyncCache struct {
 	shards []*cacheShard
 	mask   uint64 // len(shards)-1; shard count is a power of two
+	// drainStart rotates DrainQueue's starting shard so that under
+	// sustained load every shard's queue gets drained fairly instead of
+	// low-index shards starving the rest.
+	drainStart atomic.Uint64
 }
 
 type dailyEntry struct {
@@ -159,16 +176,30 @@ func (c *AsyncCache) InstallDaily(f Feature) {
 }
 
 // DrainQueue removes and returns up to n queued queries for the batch
-// processor, taking from each shard in turn.
+// processor, taking from each shard in turn. The starting shard rotates
+// across calls: draining always from shard 0 first would let a hot
+// low-index shard starve high-index shards' queued misses indefinitely
+// whenever n is smaller than the total backlog.
 func (c *AsyncCache) DrainQueue(n int) []string {
 	var out []string
-	for _, s := range c.shards {
+	start := int(c.drainStart.Add(1)-1) % len(c.shards)
+	for i := 0; i < len(c.shards); i++ {
 		if len(out) >= n {
 			break
 		}
+		s := c.shards[(start+i)%len(c.shards)]
 		out = append(out, s.drain(n-len(out))...)
 	}
 	return out
+}
+
+// Requeue pushes a query whose batch processing failed back onto its
+// shard's bounded queue for a later attempt. Unlike fresh misses, a
+// requeue never evicts queued work: when the shard's queue is full the
+// requeued query is dropped and false is returned so the caller can
+// account for it — fresh traffic keeps priority over retries.
+func (c *AsyncCache) Requeue(query string) bool {
+	return c.shard(query).requeue(query)
 }
 
 // ResetDaily clears the daily layer (the daily refresh boundary).

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,8 @@ import (
 // Responder runs model inference for one query — the expensive path that
 // the cache architecture keeps off the request critical path. COSMO-LM
 // is adapted to this interface by the caller (see cmd/cosmo-serve).
+// Responder is the legacy infallible interface; new serving code targets
+// ContextResponder (responder.go), and AdaptResponder bridges the two.
 type Responder interface {
 	Respond(query string) Feature
 }
@@ -41,20 +44,40 @@ const interactionStripes = 16
 // shards on query hash, latency goes to a fixed-bucket atomic histogram,
 // and the interaction feedback loop is a striped counter. Memory is
 // O(cache capacity + distinct queries), not O(requests served).
+//
+// The responder path is fallible: batch processing recovers responder
+// panics and re-queues failed queries, DailyRefresh aborts atomically
+// when inference fails mid-rebuild, and HandleQuery degrades to serving
+// prior-version features (flagged Stale) from the feature store when the
+// cache tiers miss.
 type Deployment struct {
 	Cache *AsyncCache
 	Store *FeatureStore
 	// Clock stamps features; swap in a FakeClock for tests.
 	Clock Clock
 
-	mu        sync.Mutex // guards responder and version only
-	responder Responder
-	version   int
+	mu        sync.Mutex // guards responder; refreshMu serializes refreshes
+	refreshMu sync.Mutex
+	responder ContextResponder
+	version   atomic.Int64
+
+	// ready flips once warmup completes (SetReady); /readyz reports 503
+	// until then and again whenever the breaker is open.
+	ready atomic.Bool
 
 	latency *Histogram
 	// interactions is the feedback loop: query -> interaction count,
 	// feeding the next refresh's frequent-search selection.
 	interactions *stripedCounter
+
+	// Batch and degradation accounting (see BatchTotals).
+	batchSucceeded      atomic.Uint64
+	batchFailed         atomic.Uint64
+	batchRequeued       atomic.Uint64
+	batchRequeueDropped atomic.Uint64
+	batchPanics         atomic.Uint64
+	staleServed         atomic.Uint64
+	refreshFailures     atomic.Uint64
 
 	// kgSnap is the frozen knowledge-graph read path. Requests load it
 	// with one atomic read and traverse it lock-free; DailyRefresh
@@ -77,8 +100,15 @@ type DeployConfig struct {
 	FeatureStoreCap int
 }
 
-// NewDeployment builds a deployment around the initial model.
+// NewDeployment builds a deployment around the initial model, adapting
+// the legacy infallible responder.
 func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
+	return NewDeploymentContext(cfg, AdaptResponder(responder))
+}
+
+// NewDeploymentContext builds a deployment around a fallible responder
+// (typically a *Resilient wrapping the model backend).
+func NewDeploymentContext(cfg DeployConfig, responder ContextResponder) *Deployment {
 	if cfg.DailyCacheCap <= 0 {
 		cfg.DailyCacheCap = 1024
 	}
@@ -87,7 +117,7 @@ func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
 	} else if cfg.FeatureStoreCap < 0 {
 		cfg.FeatureStoreCap = 0 // explicit opt-out: unlimited
 	}
-	return &Deployment{
+	d := &Deployment{
 		Cache: NewAsyncCacheWithConfig(CacheConfig{
 			DailyCap: cfg.DailyCacheCap,
 			Shards:   cfg.CacheShards,
@@ -96,10 +126,11 @@ func NewDeployment(cfg DeployConfig, responder Responder) *Deployment {
 		Store:        NewFeatureStoreWithCap(cfg.FeatureStoreCap),
 		Clock:        RealClock{},
 		responder:    responder,
-		version:      1,
 		latency:      NewHistogram(nil),
 		interactions: newStripedCounter(interactionStripes),
 	}
+	d.version.Store(1)
+	return d
 }
 
 // SetKG installs a frozen knowledge-graph snapshot as the serving read
@@ -119,55 +150,165 @@ func (d *Deployment) KG() *kg.Snapshot {
 	return d.kgSnap.Load()
 }
 
+// SetReady marks warmup complete (or revokes readiness); /readyz
+// reports 503 until the deployment is ready.
+func (d *Deployment) SetReady(ready bool) { d.ready.Store(ready) }
+
+// Ready reports whether warmup has completed.
+func (d *Deployment) Ready() bool { return d.ready.Load() }
+
 // Version returns the current model version.
 func (d *Deployment) Version() int {
+	return int(d.version.Load())
+}
+
+// CurrentResponder returns the responder currently installed (the one
+// DailyRefresh last committed).
+func (d *Deployment) CurrentResponder() ContextResponder {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.version
+	return d.responder
+}
+
+// ResilienceStats reports the current responder's resilience counters
+// when it exposes them (i.e. it is a *Resilient or equivalent); ok is
+// false for plain responders.
+func (d *Deployment) ResilienceStats() (ResilienceStats, bool) {
+	if rr, ok := d.CurrentResponder().(resilienceReporter); ok {
+		return rr.ResilienceStats(), true
+	}
+	return ResilienceStats{}, false
 }
 
 // HandleQuery is the request path: check the async cache, return
 // structured features on a hit; on a miss the query is queued for batch
-// processing and the caller proceeds without intent features. No global
-// lock is taken: the cache lookup, latency observation and feedback
-// increment are all striped or atomic.
+// processing and, as graceful degradation, any prior feature still in
+// the feature store is served flagged Stale — the caller gets possibly
+// outdated intent features instead of none while the batch processor
+// catches up. No global lock is taken and the responder is never invoked
+// inline: the cache lookup, store fallback, latency observation and
+// feedback increment are all striped or atomic.
 func (d *Deployment) HandleQuery(query string) (Feature, bool) {
 	f, ok := d.Cache.Lookup(query)
 	if ok {
 		d.latency.Observe(CacheHitLatencyMs)
 	} else {
 		d.latency.Observe(CacheMissLatencyMs)
+		if sf, found := d.Store.Get(query); found {
+			sf.Stale = true
+			d.staleServed.Add(1)
+			f, ok = sf, true
+		}
 	}
 	d.interactions.inc(query)
 	return f, ok
 }
 
-// RunBatch drains up to n queued queries, runs model inference for each,
-// writes features to the feature store and installs them in the daily
-// cache layer ("Batch Processing and Cache Update"). It returns the
-// number processed.
+// BatchResult reports one RunBatch pass. Every drained query is
+// accounted for: Drained == Succeeded + Failed, and each failure was
+// either re-queued for a later batch or dropped because its shard's
+// bounded queue was full.
+type BatchResult struct {
+	Drained   int
+	Succeeded int
+	Failed    int
+	Requeued  int
+	Dropped   int
+}
+
+// BatchTotals aggregates batch accounting across the deployment's
+// lifetime (the serving-side half of the no-query-silently-lost ledger;
+// the enqueue-side half lives in CacheStats).
+type BatchTotals struct {
+	Succeeded      uint64
+	Failed         uint64
+	Requeued       uint64
+	RequeueDropped uint64
+	Panics         uint64
+	StaleServed    uint64
+	RefreshFails   uint64
+}
+
+// BatchTotals snapshots the deployment's batch and degradation
+// counters.
+func (d *Deployment) BatchTotals() BatchTotals {
+	return BatchTotals{
+		Succeeded:      d.batchSucceeded.Load(),
+		Failed:         d.batchFailed.Load(),
+		Requeued:       d.batchRequeued.Load(),
+		RequeueDropped: d.batchRequeueDropped.Load(),
+		Panics:         d.batchPanics.Load(),
+		StaleServed:    d.staleServed.Load(),
+		RefreshFails:   d.refreshFailures.Load(),
+	}
+}
+
+// RunBatch drains up to n queued queries through the responder with a
+// background context; see RunBatchContext. It returns the number
+// successfully processed (for infallible responders this equals the
+// number drained, preserving the legacy contract).
 func (d *Deployment) RunBatch(n int) int {
+	return d.RunBatchContext(context.Background(), n).Succeeded
+}
+
+// RunBatchContext drains up to n queued queries, runs model inference
+// for each, writes features to the feature store and installs them in
+// the daily cache layer ("Batch Processing and Cache Update"). The
+// responder path is fallible: a panic is recovered and counted, and a
+// failed query is re-queued on its shard's bounded queue for a later
+// batch (dropped, with a metric, when that queue is full) — no query is
+// silently lost.
+func (d *Deployment) RunBatchContext(ctx context.Context, n int) BatchResult {
 	queries := d.Cache.DrainQueue(n)
-	d.mu.Lock()
-	responder := d.responder
-	version := d.version
-	d.mu.Unlock()
+	responder := d.CurrentResponder()
+	version := d.Version()
+	var res BatchResult
+	res.Drained = len(queries)
 	for _, q := range queries {
-		f := responder.Respond(q)
+		f, err := d.respondSafe(ctx, responder, q)
+		if err != nil {
+			res.Failed++
+			d.batchFailed.Add(1)
+			if d.Cache.Requeue(q) {
+				res.Requeued++
+				d.batchRequeued.Add(1)
+			} else {
+				res.Dropped++
+				d.batchRequeueDropped.Add(1)
+			}
+			continue
+		}
 		f.Query = q
 		f.Version = version
 		f.CreatedAt = d.Clock.Now()
 		d.Store.Put(f)
 		d.Cache.InstallDaily(f)
+		res.Succeeded++
+		d.batchSucceeded.Add(1)
 	}
-	return len(queries)
+	return res
+}
+
+// respondSafe invokes the responder, converting a panic into an error
+// so one poisoned query cannot take down the batch worker or a refresh.
+func (d *Deployment) respondSafe(ctx context.Context, r ContextResponder, q string) (f Feature, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			d.batchPanics.Add(1)
+			err = fmt.Errorf("%w: %v", ErrResponderPanic, p)
+		}
+	}()
+	return r.RespondContext(ctx, q)
 }
 
 // StartWorker launches the background batch-processing loop: every
 // interval it drains up to batchSize queued misses through RunBatch.
-// When ctx is cancelled the worker performs one final drain (so queries
-// accepted before shutdown still get processed) and exits; the returned
-// channel is closed once it has stopped.
+// When ctx is cancelled the worker drains the whole remaining queue in
+// batchSize passes — not just one batch — so every query accepted before
+// shutdown is processed; the drain stops early only when a pass makes no
+// successful progress (responder fully down), leaving the re-queued
+// remainder accounted for in BatchTotals. The returned channel is closed
+// once the worker has stopped.
 func (d *Deployment) StartWorker(ctx context.Context, interval time.Duration, batchSize int) <-chan struct{} {
 	if interval <= 0 {
 		interval = time.Second
@@ -183,31 +324,50 @@ func (d *Deployment) StartWorker(ctx context.Context, interval time.Duration, ba
 		for {
 			select {
 			case <-ctx.Done():
-				d.RunBatch(batchSize)
-				return
+				// Final drain: loop until the queue is empty. The
+				// worker's ctx is cancelled, so run the drain under a
+				// fresh context; a pass that drains queries but
+				// completes none means the responder is down and
+				// looping would re-queue forever.
+				for {
+					r := d.RunBatchContext(context.Background(), batchSize)
+					if r.Drained == 0 || r.Succeeded == 0 {
+						return
+					}
+				}
 			case <-ticker.C:
-				d.RunBatch(batchSize)
+				d.RunBatchContext(ctx, batchSize)
 			}
 		}
 	}()
 	return done
 }
 
-// DailyRefresh swaps in a refreshed model ("Model Deployment: dynamic
-// ingestion of customer behavior session logs and efficient model
-// updates"), atomically publishes the refreshed KG snapshot (RCU:
+// DailyRefresh adapts a legacy infallible responder into
+// DailyRefreshContext (kept for offline experiments and fixtures).
+func (d *Deployment) DailyRefresh(responder Responder, kgSnap *kg.Snapshot, yearlyTop int) error {
+	return d.DailyRefreshContext(context.Background(), AdaptResponder(responder), kgSnap, yearlyTop)
+}
+
+// DailyRefreshContext swaps in a refreshed model ("Model Deployment:
+// dynamic ingestion of customer behavior session logs and efficient
+// model updates"), atomically publishes the refreshed KG snapshot (RCU:
 // requests already walking the old snapshot finish on it; new requests
 // see the new one; nil keeps the current snapshot), clears the daily
 // cache layer, and rebuilds the yearly layer from the most-interacted
 // queries of the feedback loop. A negative yearlyTop is treated as 0
 // (refresh the model, install no yearly entries).
-func (d *Deployment) DailyRefresh(responder Responder, kgSnap *kg.Snapshot, yearlyTop int) {
-	d.SetKG(kgSnap)
-	d.mu.Lock()
-	d.responder = responder
-	d.version++
-	version := d.version
-	d.mu.Unlock()
+//
+// The refresh is atomic with respect to failure: every yearly feature is
+// rebuilt through the new responder before anything is installed, so if
+// inference fails (or panics, or the context is cancelled) mid-rebuild
+// the previous responder, model version, yearly layer, feature store and
+// KG snapshot all stay exactly as they were and the error is returned.
+// Refreshes are serialized; concurrent calls queue behind each other.
+func (d *Deployment) DailyRefreshContext(ctx context.Context, responder ContextResponder, kgSnap *kg.Snapshot, yearlyTop int) error {
+	d.refreshMu.Lock()
+	defer d.refreshMu.Unlock()
+	version := d.Version() + 1
 	counts := d.interactions.sorted()
 	if yearlyTop < 0 {
 		yearlyTop = 0
@@ -217,15 +377,32 @@ func (d *Deployment) DailyRefresh(responder Responder, kgSnap *kg.Snapshot, year
 	}
 	features := make([]Feature, 0, yearlyTop)
 	for _, e := range counts[:yearlyTop] {
-		f := responder.Respond(e.q)
+		f, err := d.respondSafe(ctx, responder, e.q)
+		if err != nil {
+			d.refreshFailures.Add(1)
+			return fmt.Errorf("daily refresh aborted: yearly rebuild failed at %q (%d/%d rebuilt): %w",
+				e.q, len(features), yearlyTop, err)
+		}
 		f.Query = e.q
 		f.Version = version
 		f.CreatedAt = d.Clock.Now()
-		d.Store.Put(f)
 		features = append(features, f)
+	}
+	// Commit point: every yearly feature rebuilt successfully. Install
+	// the new model, version, KG snapshot and cache layers.
+	func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.responder = responder
+		d.version.Store(int64(version))
+	}()
+	d.SetKG(kgSnap)
+	for _, f := range features {
+		d.Store.Put(f)
 	}
 	d.Cache.ReplaceYearly(features)
 	d.Cache.ResetDaily()
+	return nil
 }
 
 // LatencyPercentiles returns the p50 and p99 of observed request

@@ -35,6 +35,11 @@ type Feature struct {
 	// CreatedAt is when the feature was materialized; consumers use it
 	// to reason about staleness (see the flash-sale experiment).
 	CreatedAt time.Time
+	// Stale marks a degraded response: the cache tiers missed and this
+	// feature was served from the feature store, possibly computed by an
+	// earlier model version. Set at serve time by HandleQuery, never
+	// stored.
+	Stale bool
 }
 
 // DefaultFeatureStoreCap bounds the deployment's feature store. A

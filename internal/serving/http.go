@@ -18,7 +18,10 @@ import (
 //	GET /kg                    -> snapshot size summary (JSON)
 //	GET /stats                 -> cache and latency statistics (JSON)
 //	GET /metrics               -> Prometheus-style plaintext metrics
-//	GET /healthz               -> liveness
+//	GET /healthz               -> liveness (the process is up)
+//	GET /readyz                -> readiness: 503 until warmup completes
+//	                              (SetReady) and again while the
+//	                              responder circuit breaker is open
 //
 // The KG endpoints answer 503 until SetKG installs a snapshot.
 func NewHTTPHandler(d *Deployment) http.Handler {
@@ -104,15 +107,22 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := d.LatencyPercentiles()
 		stats := d.Cache.Stats()
-		w.Header().Set("Content-Type", "application/json")
-		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
-		_ = json.NewEncoder(w).Encode(map[string]any{
+		body := map[string]any{
 			"cache":      stats,
 			"hit_rate":   stats.HitRate(),
 			"latency_ms": map[string]float64{"p50": p50, "p99": p99},
 			"version":    d.Version(),
 			"features":   d.Store.Len(),
-		})
+			"batch":      d.BatchTotals(),
+			"ready":      d.Ready(),
+		}
+		if rs, ok := d.ResilienceStats(); ok {
+			body["resilience"] = rs
+			body["breaker_state"] = rs.BreakerState.String()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
+		_ = json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/kg", func(w http.ResponseWriter, r *http.Request) {
 		snap := d.KG()
@@ -132,6 +142,18 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok")) //cosmo:lint-ignore dropped-error best-effort liveness response; a write failure means the client is gone
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !d.Ready() {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		if rs, ok := d.ResilienceStats(); ok && rs.BreakerState == BreakerOpen {
+			http.Error(w, "circuit breaker open", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready")) //cosmo:lint-ignore dropped-error best-effort readiness response; a write failure means the client is gone
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		hist := d.LatencySnapshot()
 		stats := d.Cache.Stats()
@@ -146,6 +168,35 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		fmt.Fprintf(w, "cosmo_cache_shards %d\n", d.Cache.NumShards())
 		fmt.Fprintf(w, "cosmo_batch_queue_depth %d\n", stats.BatchQueued)
 		fmt.Fprintf(w, "cosmo_batch_queue_dropped_total %d\n", stats.BatchDropped)
+		bt := d.BatchTotals()
+		fmt.Fprintf(w, "cosmo_batch_enqueued_total %d\n", stats.BatchEnqueued)
+		fmt.Fprintf(w, "cosmo_batch_processed_total %d\n", bt.Succeeded)
+		fmt.Fprintf(w, "cosmo_batch_requeued_total %d\n", bt.Requeued)
+		fmt.Fprintf(w, "cosmo_batch_requeue_dropped_total %d\n", bt.RequeueDropped)
+		fmt.Fprintf(w, "cosmo_responder_failures_total %d\n", bt.Failed)
+		// Panics recovered at the batch/refresh layer plus those the
+		// resilience wrapper converted to errors (disjoint events).
+		panics := bt.Panics
+		rs, hasResilience := d.ResilienceStats()
+		if hasResilience {
+			panics += rs.Panics
+		}
+		fmt.Fprintf(w, "cosmo_responder_panics_total %d\n", panics)
+		fmt.Fprintf(w, "cosmo_stale_served_total %d\n", bt.StaleServed)
+		fmt.Fprintf(w, "cosmo_refresh_failures_total %d\n", bt.RefreshFails)
+		if hasResilience {
+			fmt.Fprintf(w, "cosmo_responder_retries_total %d\n", rs.Retries)
+			fmt.Fprintf(w, "cosmo_responder_attempt_failures_total %d\n", rs.Failures)
+			fmt.Fprintf(w, "cosmo_responder_timeouts_total %d\n", rs.Timeouts)
+			fmt.Fprintf(w, "cosmo_breaker_state %d\n", rs.BreakerState)
+			fmt.Fprintf(w, "cosmo_breaker_opens_total %d\n", rs.BreakerOpens)
+			fmt.Fprintf(w, "cosmo_breaker_rejects_total %d\n", rs.BreakerRejects)
+		}
+		ready := 0
+		if d.Ready() {
+			ready = 1
+		}
+		fmt.Fprintf(w, "cosmo_ready %d\n", ready)
 		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.5\"} %g\n", hist.Quantile(0.50))
 		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.99\"} %g\n", hist.Quantile(0.99))
 		var cum int64

@@ -1,0 +1,47 @@
+package serving
+
+import (
+	"context"
+	"errors"
+)
+
+// ContextResponder is the fallible form of model inference: it honors
+// cancellation, may time out, and reports failure instead of fabricating
+// a feature. All new serving code targets this interface; the legacy
+// Responder is adapted through AdaptResponder and kept for callers whose
+// responders structurally cannot fail (echo fixtures, offline
+// experiments over an in-process COSMO-LM).
+type ContextResponder interface {
+	RespondContext(ctx context.Context, query string) (Feature, error)
+}
+
+// ContextResponderFunc adapts a function to the ContextResponder
+// interface.
+type ContextResponderFunc func(ctx context.Context, query string) (Feature, error)
+
+// RespondContext calls f.
+func (f ContextResponderFunc) RespondContext(ctx context.Context, query string) (Feature, error) {
+	return f(ctx, query)
+}
+
+// AdaptResponder lifts a legacy infallible Responder into a
+// ContextResponder. The adapter checks for cancellation before invoking
+// the responder but cannot interrupt it mid-call: legacy responders are
+// synchronous by contract.
+func AdaptResponder(r Responder) ContextResponder {
+	return ContextResponderFunc(func(ctx context.Context, query string) (Feature, error) {
+		if err := ctx.Err(); err != nil {
+			return Feature{}, err
+		}
+		return r.Respond(query), nil
+	})
+}
+
+// Sentinel errors surfaced by the resilience layer.
+var (
+	// ErrBreakerOpen is returned without invoking the responder while
+	// the circuit breaker is open (fail-fast degradation).
+	ErrBreakerOpen = errors.New("serving: circuit breaker open")
+	// ErrResponderPanic wraps a panic recovered from a responder call.
+	ErrResponderPanic = errors.New("serving: responder panicked")
+)

@@ -194,7 +194,9 @@ func TestDailyRefreshRotatesModelAndCaches(t *testing.T) {
 	}
 	d.HandleQuery("cold")
 	d.RunBatch(10)
-	d.DailyRefresh(echoResponder("v2"), nil, 1)
+	if err := d.DailyRefresh(echoResponder("v2"), nil, 1); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
 	if d.Version() != 2 {
 		t.Fatalf("version = %d", d.Version())
 	}
@@ -206,9 +208,26 @@ func TestDailyRefreshRotatesModelAndCaches(t *testing.T) {
 	if f.Version != 2 {
 		t.Errorf("hot feature version = %d, want 2", f.Version)
 	}
-	// "cold" was only in the daily layer, which the refresh reset.
-	if _, ok := d.HandleQuery("cold"); ok {
-		t.Error("cold query should miss after daily reset")
+	if f.Stale {
+		t.Error("yearly hit must not be flagged stale")
+	}
+	// "cold" was only in the daily layer, which the refresh reset; the
+	// cache misses, but its prior-version feature degrades gracefully:
+	// served from the feature store flagged stale.
+	cf, ok := d.HandleQuery("cold")
+	if !ok {
+		t.Fatal("cold query should degrade to the stale store feature")
+	}
+	if !cf.Stale || cf.Version != 1 {
+		t.Errorf("cold feature = stale %v version %d, want stale v1", cf.Stale, cf.Version)
+	}
+	// The cache itself recorded a miss, and the stale serve is counted.
+	if got := d.BatchTotals().StaleServed; got != 1 {
+		t.Errorf("stale served = %d, want 1", got)
+	}
+	// A never-seen query still misses outright: nothing to degrade to.
+	if _, ok := d.HandleQuery("never-seen"); ok {
+		t.Error("unknown query should miss with no stale fallback")
 	}
 }
 
@@ -218,7 +237,9 @@ func TestDailyRefreshNegativeYearlyTop(t *testing.T) {
 	d := NewDeployment(DeployConfig{DailyCacheCap: 16}, echoResponder("v1"))
 	d.HandleQuery("camping")
 	d.RunBatch(10)
-	d.DailyRefresh(echoResponder("v2"), nil, -5) // must not panic
+	if err := d.DailyRefresh(echoResponder("v2"), nil, -5); err != nil { // must not panic
+		t.Fatalf("refresh: %v", err)
+	}
 	if d.Version() != 2 {
 		t.Errorf("version = %d, want 2", d.Version())
 	}
@@ -500,7 +521,9 @@ func TestFeatureTimestamps(t *testing.T) {
 		t.Errorf("CreatedAt = %v, want %v", f.CreatedAt, clock.Now())
 	}
 	clock.Advance(24 * time.Hour)
-	d.DailyRefresh(echoResponder("v2"), nil, 4)
+	if err := d.DailyRefresh(echoResponder("v2"), nil, 4); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
 	f2, _ := d.Store.Get("camping")
 	if !f2.CreatedAt.After(f.CreatedAt) {
 		t.Error("refresh should restamp the feature")

@@ -79,6 +79,28 @@ func (s *cacheShard) enqueueLocked(query string) {
 	s.queue[(s.qHead+s.qLen)%s.queueCap] = query
 	s.qLen++
 	s.queued[query] = true
+	s.stats.BatchEnqueued++
+}
+
+// requeue pushes a drained-but-failed query back onto the queue. The
+// caller must have obtained the query from drain: its queued-map entry
+// is still set (the in-flight de-dup claim) but it is no longer in the
+// ring, so it is pushed unconditionally. Overflow is drop-newest: when
+// the ring is full the retry (not queued fresh work) is sacrificed, its
+// de-dup claim is released so a future miss can re-enqueue the query,
+// and false is returned so the caller can account for the drop.
+func (s *cacheShard) requeue(query string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.qLen == s.queueCap {
+		delete(s.queued, query)
+		return false
+	}
+	s.queue[(s.qHead+s.qLen)%s.queueCap] = query
+	s.qLen++
+	s.queued[query] = true
+	s.stats.BatchRequeued++
+	return true
 }
 
 func (s *cacheShard) lookup(query string) (Feature, bool) {

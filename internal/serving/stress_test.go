@@ -82,7 +82,9 @@ func TestDeploymentConcurrentWithWorkerAndRefresh(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 10; i++ {
-			d.DailyRefresh(echoResponder(fmt.Sprintf("v%d", i+2)), nil, 16)
+			if err := d.DailyRefresh(echoResponder(fmt.Sprintf("v%d", i+2)), nil, 16); err != nil {
+				t.Errorf("refresh %d: %v", i, err)
+			}
 			d.LatencyPercentiles()
 			d.TopInteractions(5)
 		}
