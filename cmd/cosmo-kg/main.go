@@ -1,17 +1,28 @@
-// Command cosmo-kg inspects a knowledge graph written by cosmo-pipeline.
+// Command cosmo-kg inspects and packs a knowledge graph written by
+// cosmo-pipeline. It reads either format — the mutable-graph gob or a
+// packed .cosmo binary snapshot (sniffed by magic) — and answers every
+// query through the frozen read-optimized snapshot. A gob input pays
+// one Freeze() at load; a .cosmo input loads in O(read).
 //
 // Usage:
 //
 //	cosmo-kg -in kg.gob stats
-//	cosmo-kg -in kg.gob lookup <head-node-id>
-//	cosmo-kg -in kg.gob related <product-node-id>
-//	cosmo-kg -in kg.gob hierarchy [-min 2]
-//	cosmo-kg -in kg.gob export -tsv out.tsv
+//	cosmo-kg -in kg.cosmo lookup <head-node-id>
+//	cosmo-kg -in kg.cosmo related <product-node-id>
+//	cosmo-kg -in kg.gob -min 2 hierarchy
+//	cosmo-kg -in kg.gob -tsv out.tsv -jsonl out.jsonl export
+//	cosmo-kg -in kg.gob -out kg.cosmo pack
+//
+// pack freezes the graph once and writes the versioned, checksummed
+// binary snapshot that cosmo-serve -snapshot loads without re-indexing
+// — the build-once/serve-many artifact path.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -20,30 +31,49 @@ import (
 	"cosmo/internal/kg"
 )
 
+// loadSnapshot opens path, sniffs the format by magic, and returns the
+// frozen snapshot view: .cosmo files decode directly (no Freeze), gob
+// files decode into a Graph and freeze once with the capacity guards on.
+func loadSnapshot(path string) (*kg.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //cosmo:lint-ignore dropped-error close of a read-only file; the decode outcome is checked
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	head, err := br.Peek(8)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if kg.IsSnapshotHeader(head) {
+		return kg.ReadSnapshot(br)
+	}
+	g, err := kg.ReadGob(br)
+	if err != nil {
+		return nil, err
+	}
+	return g.FreezeChecked()
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cosmo-kg: ")
 
-	in := flag.String("in", "", "knowledge graph gob file (from cosmo-pipeline -out)")
+	in := flag.String("in", "", "knowledge graph file: gob (from cosmo-pipeline -out) or packed .cosmo snapshot")
 	minSupport := flag.Int("min", 2, "hierarchy minimum edge support")
-	tsv := flag.String("tsv", "", "export destination for the export command")
+	tsv := flag.String("tsv", "", "TSV destination for the export command")
+	jsonl := flag.String("jsonl", "", "JSONL destination for the export command")
+	out := flag.String("out", "", "snapshot destination for the pack command")
 	flag.Parse()
 
 	if *in == "" || flag.NArg() < 1 {
-		log.Fatal("usage: cosmo-kg -in kg.gob <stats|lookup|hierarchy|export> [args]")
+		log.Fatal("usage: cosmo-kg -in kg.{gob,cosmo} <stats|lookup|related|hierarchy|export|pack> [args]")
 	}
-	f, err := os.Open(*in)
+	snap, err := loadSnapshot(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := kg.ReadGob(f)
-	f.Close() //cosmo:lint-ignore dropped-error close of a read-only file; decode outcome is checked below
-	if err != nil {
-		log.Fatal(err)
-	}
-	// All queries go through the frozen read-optimized snapshot — the
-	// same view the serving stack uses.
-	snap := g.Freeze()
 
 	switch flag.Arg(0) {
 	case "stats":
@@ -89,24 +119,42 @@ func main() {
 			fmt.Print(root.Render(2))
 		}
 	case "export":
-		if *tsv == "" {
-			log.Fatal("export requires -tsv <path>")
+		if *tsv == "" && *jsonl == "" {
+			log.Fatal("export requires -tsv <path> and/or -jsonl <path> (flags go before the command)")
 		}
-		out, err := os.Create(*tsv)
-		if err != nil {
+		exportTo(*tsv, snap.WriteTSV)
+		exportTo(*jsonl, snap.WriteJSONL)
+	case "pack":
+		if *out == "" {
+			log.Fatal("pack requires -out <path> (flags go before the command)")
+		}
+		if err := kg.WriteSnapshotFile(*out, snap); err != nil {
 			log.Fatal(err)
 		}
-		if err := g.WriteTSV(out); err != nil {
-			out.Close() //cosmo:lint-ignore dropped-error already on the fatal path; the write error is the root cause
-			log.Fatal(err)
-		}
-		if err := out.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("wrote", *tsv)
+		fmt.Printf("packed %d nodes / %d edges into %s\n", snap.NumNodes(), snap.NumEdges(), *out)
 	default:
 		log.Fatalf("unknown command %q", flag.Arg(0))
 	}
+}
+
+// exportTo writes one export format to path (no-op when path is empty),
+// surfacing write and close errors.
+func exportTo(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close() //cosmo:lint-ignore dropped-error already on the fatal path; the write error is the root cause
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path)
 }
 
 func sortedKeys(s kg.Stats) []string {

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	cosmo-pipeline [-seed N] [-events N] [-budget N] [-workers N]
-//	               [-out kg.gob] [-jsonl kg.jsonl] [-tsv kg.tsv]
+//	               [-out kg.gob] [-pack kg.cosmo] [-jsonl kg.jsonl] [-tsv kg.tsv]
+//
+// -pack freezes the finished graph once and writes the versioned binary
+// snapshot (.cosmo) that cosmo-serve -snapshot and cosmo-kg load in
+// O(read) — the build side of the build-once/serve-many artifact path.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"cosmo/internal/core"
 	"cosmo/internal/instruction"
+	"cosmo/internal/kg"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 	budget := flag.Int("budget", 3000, "annotation budget")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel stages (0 = GOMAXPROCS); never changes the output")
 	out := flag.String("out", "", "write the knowledge graph (gob) to this path")
+	pack := flag.String("pack", "", "write the frozen knowledge graph as a binary snapshot (.cosmo) to this path")
 	jsonl := flag.String("jsonl", "", "write the knowledge graph (JSON lines) to this path")
 	tsv := flag.String("tsv", "", "write the knowledge graph (TSV) to this path")
 	instr := flag.String("instructions", "", "write the instruction dataset (JSON lines) to this path")
@@ -73,6 +79,16 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 	write(*out, res.KG.WriteGob)
+	if *pack != "" {
+		snap, err := res.KG.FreezeChecked()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := kg.WriteSnapshotFile(*pack, snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("packed %s (%d nodes, %d edges)\n", *pack, snap.NumNodes(), snap.NumEdges())
+	}
 	write(*jsonl, res.KG.WriteJSONL)
 	write(*tsv, res.KG.WriteTSV)
 	write(*instr, func(w io.Writer) error {

@@ -20,9 +20,17 @@
 // pointer, and each refresh freezes a new snapshot and swaps it in
 // RCU-style without pausing in-flight requests.
 //
+// With -snapshot, the KG is loaded from a packed binary snapshot
+// (.cosmo, written by cosmo-kg pack or cosmo-pipeline -pack) in O(read)
+// — no Freeze, no re-indexing — and each refresh re-reads the file and
+// swaps the fresh snapshot in through the same atomic pointer, so a
+// newly packed artifact goes live on the next refresh tick without a
+// restart. A failed reload keeps the current snapshot serving.
+//
 // Usage:
 //
 //	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
+//	            [-snapshot kg.cosmo]
 //	            [-fault-rate 0.2 -fault-seed 1 -fault-hang-rate 0.05 -fault-panic-rate 0.05]
 //
 // Endpoints: GET /intent?q=..., GET /intentions?id=..., GET /related?id=...,
@@ -41,6 +49,7 @@ import (
 
 	"cosmo/internal/core"
 	"cosmo/internal/faults"
+	"cosmo/internal/kg"
 	"cosmo/internal/serving"
 )
 
@@ -49,6 +58,7 @@ func main() {
 	log.SetPrefix("cosmo-serve: ")
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	snapshotPath := flag.String("snapshot", "", "serve the KG from this packed binary snapshot (.cosmo), loaded in O(read) and re-read on each refresh")
 	events := flag.Int("events", 10000, "behavior events for the offline pipeline")
 	refresh := flag.Duration("refresh", 24*time.Hour, "model refresh interval")
 	batchEvery := flag.Duration("batch", 2*time.Second, "batch-worker interval")
@@ -74,7 +84,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	snap := res.KG.Freeze()
+	// KG source: a packed binary snapshot loads in O(read) with zero
+	// re-indexing; otherwise the pipeline's graph is frozen in-process.
+	var snap *kg.Snapshot
+	if *snapshotPath != "" {
+		start := time.Now()
+		snap, err = kg.ReadSnapshotFile(*snapshotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot %s in %v: %d nodes / %d edges (no Freeze)",
+			*snapshotPath, time.Since(start), snap.NumNodes(), snap.NumEdges())
+	} else {
+		snap = res.KG.Freeze()
+	}
 	log.Printf("pipeline ready: frozen KG snapshot %d nodes / %d edges, COSMO-LM %d tails",
 		snap.NumNodes(), snap.NumEdges(), res.CosmoLM.KnownTails())
 
@@ -144,9 +167,22 @@ func main() {
 				return
 			case <-ticker.C:
 				log.Print("daily refresh: rotating model, caches and KG snapshot")
-				// Freeze a fresh snapshot of the (re)built graph and swap
-				// it in; readers on the old snapshot are undisturbed.
-				if err := dep.DailyRefreshContext(ctx, responder, res.KG.Freeze(), 2048); err != nil {
+				// Pick up a fresh snapshot — re-read the packed file (a
+				// newly built artifact goes live here) or re-freeze the
+				// in-process graph — and swap it in; readers on the old
+				// snapshot are undisturbed. A failed reload falls back to
+				// the snapshot already serving.
+				next := dep.KG()
+				if *snapshotPath != "" {
+					if reloaded, err := kg.ReadSnapshotFile(*snapshotPath); err != nil {
+						log.Printf("snapshot reload failed (current snapshot keeps serving): %v", err)
+					} else {
+						next = reloaded
+					}
+				} else {
+					next = res.KG.Freeze()
+				}
+				if err := dep.DailyRefreshContext(ctx, responder, next, 2048); err != nil {
 					log.Printf("daily refresh failed (previous model keeps serving): %v", err)
 				}
 			}

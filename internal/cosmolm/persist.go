@@ -1,6 +1,7 @@
 package cosmolm
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -43,7 +44,16 @@ func (m *Model) WriteGob(w io.Writer) error {
 			Relation: t.relation, Tail: t.tail, Count: t.count, Domains: t.domains,
 		})
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	// Buffered like the kg exporters: gob emits many small writes, and
+	// the flush error must not be dropped.
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
+		return fmt.Errorf("cosmolm: encode gob: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cosmolm: flush gob: %w", err)
+	}
+	return nil
 }
 
 // ReadGob loads a model previously written with WriteGob.

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cosmo/internal/kg"
+)
+
+// TestScaledKGGrowth pins the harness's contract: factor f yields at
+// least f× the base world's edges, node growth stays sub-linear in
+// edges (the intention space is shared across replicas), and the
+// result freezes and binary-round-trips cleanly.
+func TestScaledKGGrowth(t *testing.T) {
+	r, _ := runner(t)
+	base := r.World().KG
+
+	g, err := r.ScaledKG(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 3*base.NumEdges() {
+		t.Fatalf("factor 3: %d edges, want >= %d", g.NumEdges(), 3*base.NumEdges())
+	}
+	// Shared intention tails: scaling adds head nodes but no new tail
+	// per replica, so nodes grow strictly slower than 3x edges would.
+	if g.NumNodes() >= 3*base.NumNodes() {
+		t.Fatalf("factor 3: %d nodes, want < %d (tails must be shared)", g.NumNodes(), 3*base.NumNodes())
+	}
+
+	snap, err := g.FreezeChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := kg.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumEdges() != snap.NumEdges() || loaded.NumNodes() != snap.NumNodes() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			loaded.NumNodes(), snap.NumNodes(), loaded.NumEdges(), snap.NumEdges())
+	}
+}
+
+// TestScaledKGDeterministic: the same factor over the same world must
+// reproduce the graph bit for bit — the property that makes the scale
+// benchmarks comparable across runs.
+func TestScaledKGDeterministic(t *testing.T) {
+	r, _ := runner(t)
+	a, err := r.ScaledKG(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ScaledKG(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatal("ScaledKG nodes differ across identical runs")
+	}
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("ScaledKG edges differ across identical runs")
+	}
+}
+
+// TestScaledKGFactorOne: factor 1 is a pure copy of the base graph.
+func TestScaledKGFactorOne(t *testing.T) {
+	r, _ := runner(t)
+	base := r.World().KG
+	g, err := r.ScaledKG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), base.Edges()) {
+		t.Fatal("factor 1 edges differ from the base graph")
+	}
+	if _, err := r.ScaledKG(0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}

@@ -1,0 +1,744 @@
+// Binary snapshot persistence: a versioned, checksummed flat encoding
+// of the frozen Snapshot so cosmo-kg can build a graph once and
+// cosmo-serve can load it in O(read) — no re-interning, no re-sorting,
+// no CSR rebuild. The mutable-Graph gob format pays a full Freeze()
+// (hash, sort, index) on every load; at the paper's million-edge scale
+// that dominates startup, so the interned CSR arrays themselves are the
+// durable artifact here.
+//
+// Layout (all integers little-endian; see DESIGN.md, "Binary snapshot
+// persistence", for the normative spec):
+//
+//	magic   [8]byte  "COSMOSNP"
+//	version uint32   (currently 1)
+//	nsect   uint32   section count
+//	table   nsect ×  { id uint32, length uint64 }
+//	body    the sections, contiguous, in table order
+//	footer  uint64   CRC-64/ECMA of every preceding byte
+//
+// String-list sections are a uint32 count followed by count ×
+// (uint32 length + raw bytes). Numeric sections are raw arrays (the
+// element count is the section length over the element width). Node
+// types and behavior types are interned through their own small string
+// tables with one index byte per node/edge.
+//
+// ReadSnapshot verifies the whole-file checksum and structurally
+// validates every section (counts consistent, symbols in range, CSR
+// offsets monotone and exhaustive) before building the snapshot, so a
+// corrupt or adversarial input returns an error instead of panicking —
+// or worse, serving wrong edges.
+package kg
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/know"
+	"cosmo/internal/relations"
+)
+
+// snapshotMagic opens every binary snapshot file.
+const snapshotMagic = "COSMOSNP"
+
+// snapshotVersion is the current format version. Any change to the
+// layout — new sections, changed encodings, changed sort invariants —
+// bumps this; readers reject versions they do not know.
+const snapshotVersion = 1
+
+// Sentinel errors for the three failure classes of ReadSnapshot.
+// Structural and checksum failures wrap ErrSnapshotCorrupt so callers
+// can distinguish "not a snapshot" from "a damaged snapshot".
+var (
+	ErrSnapshotMagic   = errors.New("kg: not a snapshot file (bad magic)")
+	ErrSnapshotVersion = errors.New("kg: unsupported snapshot version")
+	ErrSnapshotCorrupt = errors.New("kg: snapshot corrupt")
+)
+
+// Section identifiers. Version 1 requires every section exactly once.
+const (
+	secNodeIDs    = 1  // string list, strictly ascending node IDs
+	secNodeLabels = 2  // string list, one label per node
+	secNodeTypes  = 3  // string list, interned NodeType table
+	secNodeTypeIx = 4  // u8 per node, index into secNodeTypes
+	secRels       = 5  // string list, strictly ascending relations
+	secDoms       = 6  // string list, strictly ascending domains
+	secBehs       = 7  // string list, interned BehaviorType table
+	secEdgeHead   = 8  // i32 per edge, node symbol
+	secEdgeTail   = 9  // i32 per edge, node symbol
+	secEdgeRel    = 10 // i32 per edge, relation symbol
+	secEdgeDom    = 11 // i32 per edge, domain symbol
+	secEdgeBeh    = 12 // u8 per edge, index into secBehs
+	secEdgeSup    = 13 // i32 per edge, support count
+	secEdgePla    = 14 // f64 per edge, plausibility score
+	secEdgeTyp    = 15 // f64 per edge, typicality score
+	secHeadOff    = 16 // i32 × (nodes+1), byHead CSR offsets
+	secHeadIdx    = 17 // i32 per edge, byHead CSR indexes
+	secTailOff    = 18 // i32 × (nodes+1), byTail CSR offsets
+	secTailIdx    = 19 // i32 per edge, byTail CSR indexes
+	secRelOff     = 20 // i32 × (relations+1), byRel CSR offsets
+	secRelIdx     = 21 // i32 per edge, byRel CSR indexes
+	secDomOff     = 22 // i32 × (domains+1), byDom CSR offsets
+	secDomIdx     = 23 // i32 per edge, byDom CSR indexes
+)
+
+// sectionOrder fixes the canonical write order; the reader accepts any
+// table order but requires each id exactly once.
+var sectionOrder = []uint32{
+	secNodeIDs, secNodeLabels, secNodeTypes, secNodeTypeIx,
+	secRels, secDoms, secBehs,
+	secEdgeHead, secEdgeTail, secEdgeRel, secEdgeDom,
+	secEdgeBeh, secEdgeSup, secEdgePla, secEdgeTyp,
+	secHeadOff, secHeadIdx, secTailOff, secTailIdx,
+	secRelOff, secRelIdx, secDomOff, secDomIdx,
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// IsSnapshotHeader reports whether b (the first bytes of a file) opens
+// a binary snapshot; callers use it to sniff .cosmo vs gob inputs.
+func IsSnapshotHeader(b []byte) bool {
+	return len(b) >= len(snapshotMagic) && string(b[:len(snapshotMagic)]) == snapshotMagic
+}
+
+// crcWriter tees everything written through a CRC-64 so the footer
+// checksum covers the exact bytes on the wire.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash64
+	err error
+}
+
+func (cw *crcWriter) write(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.Write(p); err != nil {
+		cw.err = err
+		return
+	}
+	cw.crc.Write(p) //cosmo:lint-ignore dropped-error hash.Hash Write never fails by contract
+}
+
+func (cw *crcWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.write(b[:])
+}
+
+func (cw *crcWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.write(b[:])
+}
+
+// chunk is the staging buffer for numeric array sections: elements are
+// encoded into it and flushed in blocks so the writer never
+// materializes a whole section in memory.
+const chunkElems = 8192
+
+func (cw *crcWriter) i32s(xs []int32) {
+	var buf [chunkElems * 4]byte
+	for len(xs) > 0 {
+		n := min(len(xs), chunkElems)
+		for i, v := range xs[:n] {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+		}
+		cw.write(buf[:n*4])
+		xs = xs[n:]
+	}
+}
+
+func (cw *crcWriter) f64s(xs []float64) {
+	var buf [chunkElems * 8]byte
+	for len(xs) > 0 {
+		n := min(len(xs), chunkElems)
+		for i, v := range xs[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		cw.write(buf[:n*8])
+		xs = xs[n:]
+	}
+}
+
+func (cw *crcWriter) stringList(xs []string) {
+	cw.u32(uint32(len(xs)))
+	for _, s := range xs {
+		cw.u32(uint32(len(s)))
+		cw.write([]byte(s))
+	}
+}
+
+// stringListLen is the encoded size of a string-list section.
+func stringListLen(xs []string) uint64 {
+	n := uint64(4)
+	for _, s := range xs {
+		n += 4 + uint64(len(s))
+	}
+	return n
+}
+
+// internStrings builds the sorted unique table over xs plus the
+// per-element index into it. The table is capped at 256 entries (the
+// index is one byte); node and behavior types are tiny closed sets.
+func internStrings(xs []string) (table []string, idx []uint8, err error) {
+	seen := map[string]bool{}
+	for _, s := range xs {
+		if !seen[s] {
+			seen[s] = true
+			table = append(table, s)
+		}
+	}
+	sort.Strings(table)
+	if len(table) > 256 {
+		return nil, nil, fmt.Errorf("kg: snapshot: %d distinct interned values exceed the u8 index space", len(table))
+	}
+	pos := make(map[string]uint8, len(table))
+	for i, s := range table {
+		pos[s] = uint8(i)
+	}
+	idx = make([]uint8, len(xs))
+	for i, s := range xs {
+		idx[i] = pos[s]
+	}
+	return table, idx, nil
+}
+
+// WriteSnapshot encodes the snapshot in the versioned binary format.
+// The write is streaming — section lengths are computed analytically,
+// so no section is materialized in memory — and finishes with the
+// CRC-64 footer over every byte written.
+func (s *Snapshot) WriteSnapshot(w io.Writer) error {
+	ntypeStrs := make([]string, len(s.ntypes))
+	for i, t := range s.ntypes {
+		ntypeStrs[i] = string(t)
+	}
+	ntypeTable, ntypeIx, err := internStrings(ntypeStrs)
+	if err != nil {
+		return err
+	}
+	behStrs := make([]string, len(s.eBeh))
+	for i, b := range s.eBeh {
+		behStrs[i] = string(b)
+	}
+	behTable, behIx, err := internStrings(behStrs)
+	if err != nil {
+		return err
+	}
+	relStrs := make([]string, len(s.rels))
+	for i, r := range s.rels {
+		relStrs[i] = string(r)
+	}
+	domStrs := make([]string, len(s.doms))
+	for i, d := range s.doms {
+		domStrs[i] = string(d)
+	}
+
+	nn, ne := uint64(len(s.ids)), uint64(len(s.eHead))
+	lengths := map[uint32]uint64{
+		secNodeIDs:    stringListLen(s.ids),
+		secNodeLabels: stringListLen(s.labels),
+		secNodeTypes:  stringListLen(ntypeTable),
+		secNodeTypeIx: nn,
+		secRels:       stringListLen(relStrs),
+		secDoms:       stringListLen(domStrs),
+		secBehs:       stringListLen(behTable),
+		secEdgeHead:   ne * 4,
+		secEdgeTail:   ne * 4,
+		secEdgeRel:    ne * 4,
+		secEdgeDom:    ne * 4,
+		secEdgeBeh:    ne,
+		secEdgeSup:    ne * 4,
+		secEdgePla:    ne * 8,
+		secEdgeTyp:    ne * 8,
+		secHeadOff:    uint64(len(s.byHead.off)) * 4,
+		secHeadIdx:    ne * 4,
+		secTailOff:    uint64(len(s.byTail.off)) * 4,
+		secTailIdx:    ne * 4,
+		secRelOff:     uint64(len(s.byRel.off)) * 4,
+		secRelIdx:     ne * 4,
+		secDomOff:     uint64(len(s.byDom.off)) * 4,
+		secDomIdx:     ne * 4,
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &crcWriter{w: bw, crc: crc64.New(crcTable)}
+	cw.write([]byte(snapshotMagic))
+	cw.u32(snapshotVersion)
+	cw.u32(uint32(len(sectionOrder)))
+	for _, id := range sectionOrder {
+		cw.u32(id)
+		cw.u64(lengths[id])
+	}
+	for _, id := range sectionOrder {
+		switch id {
+		case secNodeIDs:
+			cw.stringList(s.ids)
+		case secNodeLabels:
+			cw.stringList(s.labels)
+		case secNodeTypes:
+			cw.stringList(ntypeTable)
+		case secNodeTypeIx:
+			cw.write(ntypeIx)
+		case secRels:
+			cw.stringList(relStrs)
+		case secDoms:
+			cw.stringList(domStrs)
+		case secBehs:
+			cw.stringList(behTable)
+		case secEdgeHead:
+			cw.i32s(s.eHead)
+		case secEdgeTail:
+			cw.i32s(s.eTail)
+		case secEdgeRel:
+			cw.i32s(s.eRel)
+		case secEdgeDom:
+			cw.i32s(s.eDom)
+		case secEdgeBeh:
+			cw.write(behIx)
+		case secEdgeSup:
+			cw.i32s(s.eSup)
+		case secEdgePla:
+			cw.f64s(s.ePla)
+		case secEdgeTyp:
+			cw.f64s(s.eTyp)
+		case secHeadOff:
+			cw.i32s(s.byHead.off)
+		case secHeadIdx:
+			cw.i32s(s.byHead.idx)
+		case secTailOff:
+			cw.i32s(s.byTail.off)
+		case secTailIdx:
+			cw.i32s(s.byTail.idx)
+		case secRelOff:
+			cw.i32s(s.byRel.off)
+		case secRelIdx:
+			cw.i32s(s.byRel.idx)
+		case secDomOff:
+			cw.i32s(s.byDom.off)
+		case secDomIdx:
+			cw.i32s(s.byDom.idx)
+		}
+	}
+	if cw.err != nil {
+		return fmt.Errorf("kg: write snapshot: %w", cw.err)
+	}
+	sum := cw.crc.Sum64()
+	var foot [8]byte
+	binary.LittleEndian.PutUint64(foot[:], sum)
+	if _, err := bw.Write(foot[:]); err != nil {
+		return fmt.Errorf("kg: write snapshot footer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("kg: flush snapshot: %w", err)
+	}
+	return nil
+}
+
+// corrupt wraps a structural or checksum failure with the
+// ErrSnapshotCorrupt sentinel.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+}
+
+// ReadSnapshot decodes a binary snapshot. The cost is O(bytes read):
+// the flat arrays are copied straight into place and the pre-sorted CSR
+// indexes are reused as-is — no Freeze, no sorting, no re-interning.
+// (The three symbol-lookup hash maps are rebuilt in one linear pass;
+// they are the only derived state.) The whole-file checksum and a full
+// structural validation run before any query API can observe the data,
+// so a truncated, bit-flipped or adversarial input fails with an error
+// wrapping ErrSnapshotCorrupt rather than panicking later.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	crc := crc64.New(crcTable)
+	tr := io.TeeReader(br, crc)
+
+	head := make([]byte, len(snapshotMagic)+8)
+	if _, err := io.ReadFull(tr, head); err != nil {
+		return nil, fmt.Errorf("%w: short header (%v)", ErrSnapshotMagic, err)
+	}
+	if !IsSnapshotHeader(head) {
+		return nil, ErrSnapshotMagic
+	}
+	version := binary.LittleEndian.Uint32(head[len(snapshotMagic):])
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (reader supports %d)", ErrSnapshotVersion, version, snapshotVersion)
+	}
+	nsect := binary.LittleEndian.Uint32(head[len(snapshotMagic)+4:])
+	if int(nsect) != len(sectionOrder) {
+		return nil, corrupt("section count %d, want %d", nsect, len(sectionOrder))
+	}
+
+	// Section table: every known id exactly once, no unknown ids.
+	type sect struct {
+		id     uint32
+		length uint64
+	}
+	known := map[uint32]bool{}
+	for _, id := range sectionOrder {
+		known[id] = true
+	}
+	table := make([]sect, nsect)
+	seen := map[uint32]bool{}
+	entry := make([]byte, 12)
+	for i := range table {
+		if _, err := io.ReadFull(tr, entry); err != nil {
+			return nil, corrupt("short section table (%v)", err)
+		}
+		id := binary.LittleEndian.Uint32(entry)
+		if !known[id] {
+			return nil, corrupt("unknown section id %d", id)
+		}
+		if seen[id] {
+			return nil, corrupt("duplicate section id %d", id)
+		}
+		seen[id] = true
+		table[i] = sect{id: id, length: binary.LittleEndian.Uint64(entry[4:])}
+	}
+
+	// Section bodies, contiguous in table order. io.CopyN into a growing
+	// buffer keeps allocation proportional to bytes actually delivered,
+	// so a lying length cannot force a huge up-front allocation.
+	bodies := make(map[uint32][]byte, nsect)
+	for _, t := range table {
+		var buf bytes.Buffer
+		if n, err := io.CopyN(&buf, tr, int64(t.length)); err != nil {
+			return nil, corrupt("section %d: got %d of %d bytes (%v)", t.id, n, t.length, err)
+		}
+		bodies[t.id] = buf.Bytes()
+	}
+
+	// Footer: the checksum is read from the raw stream (it is not part
+	// of its own coverage) and compared against the running CRC.
+	want := crc.Sum64()
+	foot := make([]byte, 8)
+	if _, err := io.ReadFull(br, foot); err != nil {
+		return nil, corrupt("short checksum footer (%v)", err)
+	}
+	if got := binary.LittleEndian.Uint64(foot); got != want {
+		return nil, corrupt("checksum mismatch: file %016x, computed %016x", got, want)
+	}
+
+	return buildSnapshot(bodies)
+}
+
+// parseStringList decodes a string-list section, requiring exact
+// consumption of the body.
+func parseStringList(sec uint32, b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, corrupt("section %d: string list shorter than its count", sec)
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	out := make([]string, 0, min(int(count), len(b)+1))
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return nil, corrupt("section %d: string %d: missing length", sec, i)
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint64(n) > uint64(len(b)) {
+			return nil, corrupt("section %d: string %d: length %d exceeds remaining %d bytes", sec, i, n, len(b))
+		}
+		out = append(out, string(b[:n]))
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, corrupt("section %d: %d trailing bytes", sec, len(b))
+	}
+	return out, nil
+}
+
+// parseI32s decodes a raw int32 array section.
+func parseI32s(sec uint32, b []byte) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, corrupt("section %d: length %d not a multiple of 4", sec, len(b))
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// parseF64s decodes a raw float64 array section.
+func parseF64s(sec uint32, b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, corrupt("section %d: length %d not a multiple of 8", sec, len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// validateCSR checks one CSR index: offsets are monotone, cover exactly
+// [0, edges), every index is in range, appears exactly once across all
+// rows, and lands in the row the edge array assigns it. Row-internal
+// sort order is not re-derived here — it is covered by the checksum.
+func validateCSR(name string, c csr, rows, edges int, rowOf func(int32) int32, mark []bool) error {
+	if len(c.off) != rows+1 {
+		return corrupt("%s: %d offsets for %d rows", name, len(c.off), rows)
+	}
+	if len(c.idx) != edges {
+		return corrupt("%s: %d indexes for %d edges", name, len(c.idx), edges)
+	}
+	if rows > 0 || edges > 0 {
+		if c.off[0] != 0 {
+			return corrupt("%s: first offset %d, want 0", name, c.off[0])
+		}
+		if int(c.off[rows]) != edges {
+			return corrupt("%s: last offset %d, want %d", name, c.off[rows], edges)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if c.off[r] > c.off[r+1] {
+			return corrupt("%s: offsets not monotone at row %d (%d > %d)", name, r, c.off[r], c.off[r+1])
+		}
+	}
+	for i := range mark {
+		mark[i] = false
+	}
+	for r := int32(0); r < int32(rows); r++ {
+		for _, e := range c.idx[c.off[r]:c.off[r+1]] {
+			if e < 0 || int(e) >= edges {
+				return corrupt("%s: row %d: edge index %d out of range [0,%d)", name, r, e, edges)
+			}
+			if mark[e] {
+				return corrupt("%s: edge %d indexed twice", name, e)
+			}
+			mark[e] = true
+			if rowOf(e) != r {
+				return corrupt("%s: edge %d filed under row %d, belongs to row %d", name, e, r, rowOf(e))
+			}
+		}
+	}
+	return nil
+}
+
+// ascending verifies a symbol table is strictly ascending — the
+// invariant the snapshot's symbol-order-is-ID-order comparisons and the
+// lookup maps depend on.
+func ascending(name string, xs []string) error {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] >= xs[i] {
+			return corrupt("%s table not strictly ascending at %d (%q >= %q)", name, i, xs[i-1], xs[i])
+		}
+	}
+	return nil
+}
+
+// buildSnapshot assembles and validates the Snapshot from parsed
+// section bodies. Everything that could later index out of range is
+// checked here.
+func buildSnapshot(bodies map[uint32][]byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	var err error
+	if s.ids, err = parseStringList(secNodeIDs, bodies[secNodeIDs]); err != nil {
+		return nil, err
+	}
+	if s.labels, err = parseStringList(secNodeLabels, bodies[secNodeLabels]); err != nil {
+		return nil, err
+	}
+	ntypeTable, err := parseStringList(secNodeTypes, bodies[secNodeTypes])
+	if err != nil {
+		return nil, err
+	}
+	relStrs, err := parseStringList(secRels, bodies[secRels])
+	if err != nil {
+		return nil, err
+	}
+	domStrs, err := parseStringList(secDoms, bodies[secDoms])
+	if err != nil {
+		return nil, err
+	}
+	behTable, err := parseStringList(secBehs, bodies[secBehs])
+	if err != nil {
+		return nil, err
+	}
+
+	nn := len(s.ids)
+	if len(s.labels) != nn {
+		return nil, corrupt("%d labels for %d nodes", len(s.labels), nn)
+	}
+	ntypeIx := bodies[secNodeTypeIx]
+	if len(ntypeIx) != nn {
+		return nil, corrupt("%d node-type indexes for %d nodes", len(ntypeIx), nn)
+	}
+	if err := ascending("node ID", s.ids); err != nil {
+		return nil, err
+	}
+	if err := ascending("relation", relStrs); err != nil {
+		return nil, err
+	}
+	if err := ascending("domain", domStrs); err != nil {
+		return nil, err
+	}
+	s.ntypes = make([]NodeType, nn)
+	for i, ix := range ntypeIx {
+		if int(ix) >= len(ntypeTable) {
+			return nil, corrupt("node %d: type index %d out of range [0,%d)", i, ix, len(ntypeTable))
+		}
+		s.ntypes[i] = NodeType(ntypeTable[ix])
+	}
+	s.rels = make([]relations.Relation, len(relStrs))
+	for i, r := range relStrs {
+		s.rels[i] = relations.Relation(r)
+	}
+	s.doms = make([]catalog.Category, len(domStrs))
+	for i, d := range domStrs {
+		s.doms[i] = catalog.Category(d)
+	}
+
+	if s.eHead, err = parseI32s(secEdgeHead, bodies[secEdgeHead]); err != nil {
+		return nil, err
+	}
+	if s.eTail, err = parseI32s(secEdgeTail, bodies[secEdgeTail]); err != nil {
+		return nil, err
+	}
+	if s.eRel, err = parseI32s(secEdgeRel, bodies[secEdgeRel]); err != nil {
+		return nil, err
+	}
+	if s.eDom, err = parseI32s(secEdgeDom, bodies[secEdgeDom]); err != nil {
+		return nil, err
+	}
+	if s.eSup, err = parseI32s(secEdgeSup, bodies[secEdgeSup]); err != nil {
+		return nil, err
+	}
+	if s.ePla, err = parseF64s(secEdgePla, bodies[secEdgePla]); err != nil {
+		return nil, err
+	}
+	if s.eTyp, err = parseF64s(secEdgeTyp, bodies[secEdgeTyp]); err != nil {
+		return nil, err
+	}
+	ne := len(s.eHead)
+	behIx := bodies[secEdgeBeh]
+	for what, n := range map[string]int{
+		"tail symbols": len(s.eTail), "relation symbols": len(s.eRel),
+		"domain symbols": len(s.eDom), "supports": len(s.eSup),
+		"plausibility scores": len(s.ePla), "typicality scores": len(s.eTyp),
+		"behavior indexes": len(behIx),
+	} {
+		if n != ne {
+			return nil, corrupt("%d %s for %d edges", n, what, ne)
+		}
+	}
+	s.eBeh = make([]know.BehaviorType, ne)
+	for i := 0; i < ne; i++ {
+		if h := s.eHead[i]; h < 0 || int(h) >= nn {
+			return nil, corrupt("edge %d: head symbol %d out of range [0,%d)", i, h, nn)
+		}
+		if t := s.eTail[i]; t < 0 || int(t) >= nn {
+			return nil, corrupt("edge %d: tail symbol %d out of range [0,%d)", i, t, nn)
+		}
+		if r := s.eRel[i]; r < 0 || int(r) >= len(s.rels) {
+			return nil, corrupt("edge %d: relation symbol %d out of range [0,%d)", i, r, len(s.rels))
+		}
+		if d := s.eDom[i]; d < 0 || int(d) >= len(s.doms) {
+			return nil, corrupt("edge %d: domain symbol %d out of range [0,%d)", i, d, len(s.doms))
+		}
+		if b := behIx[i]; int(b) >= len(behTable) {
+			return nil, corrupt("edge %d: behavior index %d out of range [0,%d)", i, b, len(behTable))
+		}
+		if s.eSup[i] < 0 {
+			return nil, corrupt("edge %d: negative support %d", i, s.eSup[i])
+		}
+		s.eBeh[i] = know.BehaviorType(behTable[behIx[i]])
+	}
+
+	readCSR := func(name string, offSec, idxSec uint32) (csr, error) {
+		off, err := parseI32s(offSec, bodies[offSec])
+		if err != nil {
+			return csr{}, err
+		}
+		idx, err := parseI32s(idxSec, bodies[idxSec])
+		if err != nil {
+			return csr{}, err
+		}
+		return csr{off: off, idx: idx}, nil
+	}
+	if s.byHead, err = readCSR("byHead", secHeadOff, secHeadIdx); err != nil {
+		return nil, err
+	}
+	if s.byTail, err = readCSR("byTail", secTailOff, secTailIdx); err != nil {
+		return nil, err
+	}
+	if s.byRel, err = readCSR("byRel", secRelOff, secRelIdx); err != nil {
+		return nil, err
+	}
+	if s.byDom, err = readCSR("byDom", secDomOff, secDomIdx); err != nil {
+		return nil, err
+	}
+	mark := make([]bool, ne)
+	if err := validateCSR("byHead", s.byHead, nn, ne, func(e int32) int32 { return s.eHead[e] }, mark); err != nil {
+		return nil, err
+	}
+	if err := validateCSR("byTail", s.byTail, nn, ne, func(e int32) int32 { return s.eTail[e] }, mark); err != nil {
+		return nil, err
+	}
+	if err := validateCSR("byRel", s.byRel, len(s.rels), ne, func(e int32) int32 { return s.eRel[e] }, mark); err != nil {
+		return nil, err
+	}
+	if err := validateCSR("byDom", s.byDom, len(s.doms), ne, func(e int32) int32 { return s.eDom[e] }, mark); err != nil {
+		return nil, err
+	}
+
+	// The only derived state: the symbol-lookup maps and the walk
+	// scratch pool. One linear pass; everything else above was a copy.
+	s.sym = make(map[string]int32, nn)
+	for i, id := range s.ids {
+		s.sym[id] = int32(i)
+	}
+	s.relSym = make(map[relations.Relation]int32, len(s.rels))
+	for i, r := range s.rels {
+		s.relSym[r] = int32(i)
+	}
+	s.domSym = make(map[catalog.Category]int32, len(s.doms))
+	for i, d := range s.doms {
+		s.domSym[d] = int32(i)
+	}
+	s.scratch.New = func() any { return &relatedScratch{} }
+	return s, nil
+}
+
+// WriteSnapshotFile packs the snapshot to path, fsync-free but with
+// every write and close error surfaced.
+func WriteSnapshotFile(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kg: write snapshot: %w", err)
+	}
+	if err := s.WriteSnapshot(f); err != nil {
+		f.Close() //cosmo:lint-ignore dropped-error already on the error path; the write error is the root cause
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("kg: close snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads a packed snapshot from path in O(read).
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kg: read snapshot: %w", err)
+	}
+	s, err := ReadSnapshot(f)
+	f.Close() //cosmo:lint-ignore dropped-error close of a read-only file; the decode outcome is what matters
+	if err != nil {
+		return nil, fmt.Errorf("kg: read snapshot %s: %w", path, err)
+	}
+	return s, nil
+}

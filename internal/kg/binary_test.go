@@ -1,0 +1,259 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/relations"
+)
+
+// assertSnapshotsEqual compares two snapshots across every query API —
+// the round-trip property the binary format must preserve exactly,
+// including tie-break ordering and bitwise score equality.
+func assertSnapshotsEqual(t *testing.T, want, got *Snapshot) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() || want.NumRelations() != got.NumRelations() {
+		t.Fatalf("counts differ: want %d/%d/%d got %d/%d/%d",
+			want.NumNodes(), want.NumEdges(), want.NumRelations(),
+			got.NumNodes(), got.NumEdges(), got.NumRelations())
+	}
+	if !reflect.DeepEqual(want.Nodes(), got.Nodes()) {
+		t.Fatal("Nodes() differ")
+	}
+	if !reflect.DeepEqual(want.Edges(), got.Edges()) {
+		t.Fatal("Edges() differ")
+	}
+	if !reflect.DeepEqual(want.ComputeStats(), got.ComputeStats()) {
+		t.Fatal("ComputeStats() differ")
+	}
+	for _, n := range want.Nodes() {
+		gn, ok := got.Node(n.ID)
+		if !ok || gn != n {
+			t.Fatalf("Node(%q) = %+v, %v; want %+v", n.ID, gn, ok, n)
+		}
+		if !reflect.DeepEqual(want.EdgesFrom(n.ID), got.EdgesFrom(n.ID)) {
+			t.Fatalf("EdgesFrom(%q) differ", n.ID)
+		}
+		if !reflect.DeepEqual(want.EdgesTo(n.ID), got.EdgesTo(n.ID)) {
+			t.Fatalf("EdgesTo(%q) differ", n.ID)
+		}
+		if !reflect.DeepEqual(want.IntentionsFor(n.ID).Edges(), got.IntentionsFor(n.ID).Edges()) {
+			t.Fatalf("IntentionsFor(%q) differ", n.ID)
+		}
+		for _, k := range []int{1, 3, 1 << 20} {
+			if !reflect.DeepEqual(want.RelatedProducts(n.ID, k), got.RelatedProducts(n.ID, k)) {
+				t.Fatalf("RelatedProducts(%q, %d) differ", n.ID, k)
+			}
+		}
+	}
+	for _, r := range relations.All() {
+		if !reflect.DeepEqual(want.EdgesByRelation(r), got.EdgesByRelation(r)) {
+			t.Fatalf("EdgesByRelation(%q) differ", r)
+		}
+	}
+	for _, d := range catalog.Categories() {
+		if !reflect.DeepEqual(want.EdgesInDomain(d), got.EdgesInDomain(d)) {
+			t.Fatalf("EdgesInDomain(%q) differ", d)
+		}
+	}
+	for _, minSupport := range []int{1, 2, 4} {
+		if !reflect.DeepEqual(want.BuildHierarchy(minSupport), got.BuildHierarchy(minSupport)) {
+			t.Fatalf("BuildHierarchy(%d) differs", minSupport)
+		}
+	}
+	if _, ok := got.Node("p:NOPE"); ok {
+		t.Fatal("unknown node found after round trip")
+	}
+	if got.IntentionsFor("p:NOPE").Len() != 0 {
+		t.Fatal("unknown head has intentions after round trip")
+	}
+}
+
+// TestSnapshotBinaryRoundTrip is the randomized round-trip property
+// test: Freeze → WriteSnapshot → ReadSnapshot must agree with the
+// original snapshot on every query API, exactly.
+func TestSnapshotBinaryRoundTrip(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + trial)))
+			g := randomGraph(t, rng, 40+rng.Intn(260))
+			want := g.Freeze()
+			var buf bytes.Buffer
+			if err := want.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSnapshotsEqual(t, want, got)
+		})
+	}
+}
+
+// TestSnapshotBinaryRoundTripEmpty round-trips the degenerate empty
+// snapshot.
+func TestSnapshotBinaryRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Freeze().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Fatalf("empty round trip: %d nodes %d edges", got.NumNodes(), got.NumEdges())
+	}
+}
+
+// TestSnapshotFileRoundTrip exercises the path-based helpers.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	g := buildTestGraph(t)
+	want := g.Freeze()
+	path := filepath.Join(t.TempDir(), "kg.cosmo")
+	if err := WriteSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, want, got)
+}
+
+// TestSnapshotExportEquivalence pins that the frozen-view exporters
+// emit byte-identical output to the Graph exporters, and that a
+// loaded binary snapshot exports the same bytes again.
+func TestSnapshotExportEquivalence(t *testing.T) {
+	g := buildTestGraph(t)
+	s := g.Freeze()
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gj, sj, lj bytes.Buffer
+	if err := g.WriteJSONL(&gj); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSONL(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteJSONL(&lj); err != nil {
+		t.Fatal(err)
+	}
+	if gj.String() != sj.String() || gj.String() != lj.String() {
+		t.Fatal("JSONL export differs between graph, snapshot and loaded snapshot")
+	}
+	var gt, st, lt bytes.Buffer
+	if err := g.WriteTSV(&gt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteTSV(&st); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteTSV(&lt); err != nil {
+		t.Fatal(err)
+	}
+	if gt.String() != st.String() || gt.String() != lt.String() {
+		t.Fatal("TSV export differs between graph, snapshot and loaded snapshot")
+	}
+}
+
+// TestReadSnapshotRejectsGarbage covers the non-snapshot failure class.
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{nil, []byte("x"), []byte("not a snapshot at all, definitely")} {
+		if _, err := ReadSnapshot(bytes.NewReader(in)); !errors.Is(err, ErrSnapshotMagic) {
+			t.Fatalf("garbage %q: err = %v, want ErrSnapshotMagic", in, err)
+		}
+	}
+}
+
+// TestReadSnapshotRejectsFutureVersion pins the compatibility rule:
+// unknown versions are refused, not guessed at.
+func TestReadSnapshotRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestGraph(t).Freeze().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(snapshotMagic)] = 0xFF // version field low byte
+	if _, err := ReadSnapshot(bytes.NewReader(b)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version: err = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+// TestReadSnapshotCorruption flips one byte at a time through the whole
+// file and truncates it at every length: every damaged input must be
+// rejected with an error (never a panic), and the checksum guarantees a
+// single flipped byte can never decode silently.
+func TestReadSnapshotCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestGraph(t).Freeze().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Byte flips; skip the magic (flips there yield ErrSnapshotMagic,
+	// covered above) but include version, table, bodies and footer.
+	for pos := len(snapshotMagic); pos < len(valid); pos++ {
+		b := append([]byte(nil), valid...)
+		b[pos] ^= 0x5A
+		if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil {
+			t.Fatalf("flip at byte %d decoded successfully", pos)
+		}
+	}
+	// Truncations.
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := ReadSnapshot(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+// FuzzReadSnapshot asserts ReadSnapshot never panics and that any input
+// it accepts supports the query APIs without crashing. Wired into the
+// CI fuzz smoke.
+func FuzzReadSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	g := New()
+	g.AddNode(Node{ID: "i:used_for:camping", Type: NodeIntention, Label: "camping"})
+	g.AddNode(Node{ID: "p:P1", Type: NodeProduct, Label: "tent"})
+	g.AddNode(Node{ID: "q:tent", Type: NodeQuery, Label: "tent"})
+	for _, head := range []string{"p:P1", "q:tent"} {
+		if err := g.AddEdge(Edge{Head: head, Relation: relations.UsedForEve, Tail: "i:used_for:camping",
+			Domain: catalog.Sports, PlausibleScore: 0.9, TypicalScore: 0.8, Support: 2}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := g.Freeze().WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: the snapshot must be fully queryable.
+		for _, n := range s.Nodes() {
+			s.IntentionsFor(n.ID)
+			s.RelatedProducts(n.ID, 3)
+		}
+		s.Edges()
+		s.ComputeStats()
+		s.BuildHierarchy(1)
+	})
+}

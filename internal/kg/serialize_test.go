@@ -1,0 +1,162 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/relations"
+)
+
+// danglingGraph builds a graph holding an edge whose tail node is
+// missing — a state AddEdge refuses but that corruption, partial loads
+// or future delete operations could produce. The test reaches into the
+// unexported maps deliberately.
+func danglingGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.AddNode(Node{ID: "p:P1", Type: NodeProduct, Label: "tent"})
+	g.AddNode(Node{ID: "i:used_for:camping", Type: NodeIntention, Label: "camping"})
+	if err := g.AddEdge(Edge{Head: "p:P1", Relation: relations.UsedForEve, Tail: "i:used_for:camping",
+		Domain: catalog.Sports, Support: 1}); err != nil {
+		t.Fatal(err)
+	}
+	delete(g.nodes, "i:used_for:camping")
+	return g
+}
+
+// TestWriteJSONLDanglingEdge is the regression test for the silent
+// empty-label bug: a dangling edge used to export a row with
+// tail_label "", poisoning downstream feature pipelines. Now the
+// export fails naming the edge.
+func TestWriteJSONLDanglingEdge(t *testing.T) {
+	g := danglingGraph(t)
+	var buf bytes.Buffer
+	err := g.WriteJSONL(&buf)
+	if err == nil {
+		t.Fatal("WriteJSONL succeeded on a dangling edge")
+	}
+	if !strings.Contains(err.Error(), "unknown tail node") || !strings.Contains(err.Error(), "i:used_for:camping") {
+		t.Fatalf("error does not name the dangling node: %v", err)
+	}
+}
+
+// TestWriteTSVDanglingEdge is the same regression for the TSV path.
+func TestWriteTSVDanglingEdge(t *testing.T) {
+	g := danglingGraph(t)
+	var buf bytes.Buffer
+	err := g.WriteTSV(&buf)
+	if err == nil {
+		t.Fatal("WriteTSV succeeded on a dangling edge")
+	}
+	if !strings.Contains(err.Error(), "unknown tail node") {
+		t.Fatalf("error does not report the missing node: %v", err)
+	}
+}
+
+// failAfterWriter errors once n bytes have been written — it simulates
+// a disk filling up mid-write.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestWriteGobSurfacesFlushError is the regression test for the
+// unbuffered-gob bug's sibling failure: with buffering, a write error
+// that only materializes at flush time must still be reported.
+func TestWriteGobSurfacesFlushError(t *testing.T) {
+	g := buildTestGraph(t)
+	// Small cap: the buffered encoder only hits the sink at flush.
+	if err := g.WriteGob(&failAfterWriter{n: 64}); err == nil {
+		t.Fatal("WriteGob swallowed the sink's write error")
+	}
+	// Sanity: the same graph still writes fine to a working sink.
+	var buf bytes.Buffer
+	if err := g.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGob(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteSnapshotSurfacesWriteError covers the binary writer's error
+// path the same way.
+func TestWriteSnapshotSurfacesWriteError(t *testing.T) {
+	s := buildTestGraph(t).Freeze()
+	if err := s.WriteSnapshot(&failAfterWriter{n: 64}); err == nil {
+		t.Fatal("WriteSnapshot swallowed the sink's write error")
+	}
+}
+
+// TestCheckFreezeCapacity exercises the int32 guard directly — the
+// counts themselves cannot be constructed in a test process.
+func TestCheckFreezeCapacity(t *testing.T) {
+	if err := checkFreezeCapacity(10, 20, 3, 4); err != nil {
+		t.Fatalf("small graph rejected: %v", err)
+	}
+	over := math.MaxInt32 + 1
+	for name, args := range map[string][4]int{
+		"nodes":     {over, 0, 0, 0},
+		"edges":     {0, over, 0, 0},
+		"relations": {0, 0, over, 0},
+		"domains":   {0, 0, 0, over},
+	} {
+		err := checkFreezeCapacity(args[0], args[1], args[2], args[3])
+		if err == nil {
+			t.Fatalf("%s over int32 accepted", name)
+		}
+		if !strings.Contains(err.Error(), name) || !strings.Contains(err.Error(), "int32") {
+			t.Fatalf("%s guard error not descriptive: %v", name, err)
+		}
+	}
+}
+
+// TestFreezeCheckedSupportOverflow pins the per-edge support guard: a
+// support count beyond int32 used to truncate silently into the
+// snapshot's eSup array.
+func TestFreezeCheckedSupportOverflow(t *testing.T) {
+	g := buildTestGraph(t)
+	// Push one edge's merged support past int32 via the mutable store.
+	for k := range g.edges {
+		g.edges[k].Support = math.MaxInt32 + 1
+		break
+	}
+	if _, err := g.FreezeChecked(); err == nil {
+		t.Fatal("FreezeChecked accepted an edge with support > MaxInt32")
+	} else if !strings.Contains(err.Error(), "support") {
+		t.Fatalf("support guard error not descriptive: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Freeze did not panic on support overflow")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "support") {
+			t.Fatalf("Freeze panic lacks the reason: %v", r)
+		}
+	}()
+	g.Freeze()
+}
+
+// TestFreezeCheckedMatchesFreeze pins that the checked path returns the
+// same snapshot a plain Freeze builds.
+func TestFreezeCheckedMatchesFreeze(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := g.FreezeChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, g.Freeze(), s)
+}

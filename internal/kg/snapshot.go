@@ -1,6 +1,8 @@
 package kg
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -89,14 +91,50 @@ func newCSR(rows int, edges int, rowOf func(e int32) int32) csr {
 	return csr{off: off, idx: idx}
 }
 
+// checkFreezeCapacity rejects graphs whose interned table sizes exceed
+// the int32 symbol space of the frozen CSR layout. Exceeding it used to
+// truncate silently via the int32 conversions in Freeze; now it is a
+// descriptive error.
+func checkFreezeCapacity(nodes, edges, rels, doms int) error {
+	for _, c := range []struct {
+		what string
+		n    int
+	}{{"nodes", nodes}, {"edges", edges}, {"relations", rels}, {"domains", doms}} {
+		if c.n > math.MaxInt32 {
+			return fmt.Errorf("kg: freeze: %d %s exceed the snapshot's int32 symbol space (max %d)",
+				c.n, c.what, math.MaxInt32)
+		}
+	}
+	return nil
+}
+
 // Freeze builds an immutable Snapshot of the graph's current contents.
 // It takes the read lock once; the returned snapshot never locks. The
 // mutable Graph remains fully usable (the offline pipeline keeps
 // building it); serving code swaps fresh snapshots in via
 // atomic.Pointer (see serving.Deployment).
+//
+// Freeze panics with a descriptive reason if the graph exceeds the
+// snapshot's int32 capacity; callers that want the error instead use
+// FreezeChecked.
 func (g *Graph) Freeze() *Snapshot {
+	s, err := g.FreezeChecked()
+	if err != nil {
+		panic("kg: Freeze: " + err.Error())
+	}
+	return s
+}
+
+// FreezeChecked is Freeze with the capacity guards surfaced as an
+// error: node/edge/relation/domain counts and per-edge support must fit
+// the snapshot's int32 symbol and counter space.
+func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+
+	if err := checkFreezeCapacity(len(g.nodes), len(g.edges), len(g.byRelation), len(g.byDomain)); err != nil {
+		return nil, err
+	}
 
 	s := &Snapshot{}
 
@@ -151,6 +189,9 @@ func (g *Graph) Freeze() *Snapshot {
 	s.eSup = make([]int32, ne)
 	for i, k := range keys {
 		e := g.edges[k]
+		if e.Support < 0 || e.Support > math.MaxInt32 {
+			return nil, fmt.Errorf("kg: freeze: edge %q support %d outside the snapshot's int32 range", k, e.Support)
+		}
 		s.eHead[i] = s.sym[e.Head]
 		s.eTail[i] = s.sym[e.Tail]
 		s.eRel[i] = s.relSym[e.Relation]
@@ -194,7 +235,7 @@ func (g *Graph) Freeze() *Snapshot {
 	}
 
 	s.scratch.New = func() any { return &relatedScratch{} }
-	return s
+	return s, nil
 }
 
 // edgeAt materializes edge i. Strings come from the symbol table, so
