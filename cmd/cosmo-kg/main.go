@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,7 +44,7 @@ func loadSnapshot(path string) (*kg.Snapshot, error) {
 
 	br := bufio.NewReaderSize(f, 1<<16)
 	head, err := br.Peek(8)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	if kg.IsSnapshotHeader(head) {

@@ -1,16 +1,24 @@
 // Command cosmo-lint runs the project's static analyzer over the
-// module: determinism (seeded-rand, wallclock), lock hygiene
-// (mutex-hygiene), bounded serving memory (unbounded-append), and
-// error discipline (dropped-error). See internal/lint for the checks
-// and DESIGN.md for the invariants they encode.
+// module: determinism (seeded-rand, wallclock), lock and atomic
+// hygiene (mutex-hygiene, atomic-hygiene), bounded serving memory
+// (unbounded-append), error discipline (dropped-error,
+// sentinel-compare), serving-path contracts (frozen-serving,
+// ctx-propagation), overflow safety (unchecked-narrowing), and
+// hot-path allocation certification (alloc-free). See internal/lint
+// for the checks and DESIGN.md for the invariants they encode.
+//
+// Loading and checking fan out across a worker pool; the finding order
+// is deterministic and identical for every -workers value.
 //
 // Usage:
 //
 //	go run ./cmd/cosmo-lint ./...
-//	go run ./cmd/cosmo-lint -json ./internal/serving
+//	go run ./cmd/cosmo-lint -json -workers 8 ./internal/serving
 //	go run ./cmd/cosmo-lint -checks seeded-rand,wallclock ./...
+//	go run ./cmd/cosmo-lint -severity error ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load or usage error.
+// Exit status: 0 clean (no findings at or above -severity), 1
+// findings, 2 load or usage error.
 package main
 
 import (
@@ -32,16 +40,23 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	chdir := flag.String("C", ".", "directory inside the module to lint from")
+	workers := flag.Int("workers", 0, "parallel load/check workers (<=0 means GOMAXPROCS)")
+	severity := flag.String("severity", string(lint.SeverityWarn), "minimum severity that fails the run (warn|error); all findings are still printed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cosmo-lint [-json] [-checks c1,c2] [-C dir] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: cosmo-lint [-json] [-checks c1,c2] [-C dir] [-workers n] [-severity warn|error] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Packages are ./... (the whole module, the default), a directory,\nor a dir/... prefix. Checks:\n")
 		for _, c := range lint.AllChecks() {
-			fmt.Fprintf(os.Stderr, "  %-17s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(os.Stderr, "  %-19s [%s] %s\n", c.Name, c.Severity, c.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	gate, err := lint.ParseSeverity(*severity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmo-lint:", err)
+		return 2
+	}
 	root, err := findModuleRoot(*chdir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmo-lint:", err)
@@ -52,7 +67,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cosmo-lint:", err)
 		return 2
 	}
-	pkgs, err := loader.LoadAll()
+	pkgs, err := loader.LoadAll(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cosmo-lint:", err)
 		return 2
@@ -78,7 +93,7 @@ func run() int {
 		}
 	}
 
-	findings := lint.Run(pkgs, cfg)
+	findings := lint.RunParallel(pkgs, cfg, *workers)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -94,9 +109,9 @@ func run() int {
 			fmt.Println(f)
 		}
 	}
-	if len(findings) > 0 {
+	if gating := lint.CountAtLeast(findings, gate); gating > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "cosmo-lint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(os.Stderr, "cosmo-lint: %d finding(s) at severity >= %s\n", gating, gate)
 		}
 		return 1
 	}

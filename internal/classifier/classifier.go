@@ -37,6 +37,7 @@ func (f *Featurizer) Dim() int { return f.dim }
 func (f *Featurizer) hash(s string) int {
 	h := fnv.New32a()
 	h.Write([]byte(s)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
+	//cosmo:lint-ignore unchecked-narrowing dim is clamped to >= 64 in NewFeaturizer and config dims stay far below 2^32
 	return int(h.Sum32() % uint32(f.dim))
 }
 

@@ -78,7 +78,7 @@ type Model struct {
 
 // Train fits COSMO-LM on instruction data.
 func Train(data []instruction.Instance, cfg Config) *Model {
-	if cfg.HeadDim == 0 {
+	if cfg.HeadDim <= 0 {
 		cfg = DefaultConfig()
 	}
 	m := &Model{
@@ -145,6 +145,7 @@ func (m *Model) features(task, input string) []int {
 	h := func(s string) int {
 		hh := fnv.New32a()
 		hh.Write([]byte(s)) //cosmo:lint-ignore dropped-error hash.Hash Write never returns an error (hash package contract)
+		//cosmo:lint-ignore unchecked-narrowing headDim is validated positive in Train and config dims stay far below 2^32
 		return int(hh.Sum32() % uint32(m.headDim))
 	}
 	toks := contextTokens(input)

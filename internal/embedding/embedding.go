@@ -86,7 +86,11 @@ func padByte(t string, p int) byte {
 }
 
 // Embed returns the L2-normalized embedding of s. The zero vector is
-// returned for blank input.
+// returned for blank input. The only allocation is the sized result
+// vector: hashing runs inline over the token bytes (PR 3), so the
+// annotation below holds the hot path to that discipline statically.
+//
+//cosmo:alloc-free
 func (m *Model) Embed(s string) []float64 {
 	vec := make([]float64, m.dim)
 	toks := textproc.StemAll(textproc.Tokenize(s))

@@ -141,6 +141,18 @@ func (cw *crcWriter) u64(v uint64) {
 	cw.write(b[:])
 }
 
+// u32n writes a non-negative int count as u32, failing the stream if
+// the value cannot be represented instead of truncating silently. The
+// freeze capacity guards keep real snapshots far inside the bound;
+// this is the on-disk backstop.
+func (cw *crcWriter) u32n(n int) {
+	if n < 0 || uint64(n) > math.MaxUint32 {
+		cw.err = fmt.Errorf("kg: snapshot: count %d does not fit in u32", n)
+		return
+	}
+	cw.u32(uint32(n))
+}
+
 // chunk is the staging buffer for numeric array sections: elements are
 // encoded into it and flushed in blocks so the writer never
 // materializes a whole section in memory.
@@ -171,9 +183,9 @@ func (cw *crcWriter) f64s(xs []float64) {
 }
 
 func (cw *crcWriter) stringList(xs []string) {
-	cw.u32(uint32(len(xs)))
+	cw.u32n(len(xs))
 	for _, s := range xs {
-		cw.u32(uint32(len(s)))
+		cw.u32n(len(s))
 		cw.write([]byte(s))
 	}
 }
@@ -274,7 +286,7 @@ func (s *Snapshot) WriteSnapshot(w io.Writer) error {
 	cw := &crcWriter{w: bw, crc: crc64.New(crcTable)}
 	cw.write([]byte(snapshotMagic))
 	cw.u32(snapshotVersion)
-	cw.u32(uint32(len(sectionOrder)))
+	cw.u32n(len(sectionOrder))
 	for _, id := range sectionOrder {
 		cw.u32(id)
 		cw.u64(lengths[id])

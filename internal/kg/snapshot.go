@@ -71,11 +71,23 @@ type csr struct {
 
 func (c csr) row(r int32) []int32 { return c.idx[c.off[r]:c.off[r+1]] }
 
+// sym32 converts a table index to an int32 symbol. Sizes are bounded
+// up front (checkFreezeCapacity on freeze, validateCSR on load); the
+// local range check keeps every conversion site provably lossless
+// instead of relying on a guard three calls away.
+func sym32(i int) int32 {
+	if i < 0 || i > math.MaxInt32 {
+		panic(fmt.Sprintf("kg: symbol index %d outside the snapshot's int32 range", i))
+	}
+	return int32(i)
+}
+
 // newCSR builds a CSR with the given row count from (row, edge) pairs
 // delivered by iterate in ascending edge order.
 func newCSR(rows int, edges int, rowOf func(e int32) int32) csr {
+	ne := sym32(edges)
 	off := make([]int32, rows+1)
-	for e := int32(0); e < int32(edges); e++ {
+	for e := int32(0); e < ne; e++ {
 		off[rowOf(e)+1]++
 	}
 	for r := 0; r < rows; r++ {
@@ -83,7 +95,7 @@ func newCSR(rows int, edges int, rowOf func(e int32) int32) csr {
 	}
 	idx := make([]int32, edges)
 	fill := make([]int32, rows)
-	for e := int32(0); e < int32(edges); e++ {
+	for e := int32(0); e < ne; e++ {
 		r := rowOf(e)
 		idx[off[r]+fill[r]] = e
 		fill[r]++
@@ -151,7 +163,7 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 		n := g.nodes[id]
 		s.labels[i] = n.Label
 		s.ntypes[i] = n.Type
-		s.sym[id] = int32(i)
+		s.sym[id] = sym32(i)
 	}
 
 	// Relation and domain intern tables, ascending order.
@@ -161,7 +173,7 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	sort.Slice(s.rels, func(i, j int) bool { return s.rels[i] < s.rels[j] })
 	s.relSym = make(map[relations.Relation]int32, len(s.rels))
 	for i, r := range s.rels {
-		s.relSym[r] = int32(i)
+		s.relSym[r] = sym32(i)
 	}
 	for d := range g.byDomain {
 		s.doms = append(s.doms, d)
@@ -169,7 +181,7 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	sort.Slice(s.doms, func(i, j int) bool { return s.doms[i] < s.doms[j] })
 	s.domSym = make(map[catalog.Category]int32, len(s.doms))
 	for i, d := range s.doms {
-		s.domSym[d] = int32(i)
+		s.domSym[d] = sym32(i)
 	}
 
 	// Edges in key-sorted order (the Graph.Edges() order).
@@ -212,7 +224,7 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	// rows in the canonical back-walk order. Symbol comparisons stand in
 	// for the string comparisons because symbols are assigned in sorted
 	// order.
-	for r := int32(0); r < int32(nn); r++ {
+	for r, nn32 := int32(0), sym32(nn); r < nn32; r++ {
 		row := s.byHead.row(r)
 		sort.Slice(row, func(a, b int) bool {
 			x, y := row[a], row[b]
@@ -285,7 +297,7 @@ func (s *Snapshot) Nodes() []Node {
 func (s *Snapshot) Edges() []Edge {
 	out := make([]Edge, len(s.eHead))
 	for i := range out {
-		out[i] = s.edgeAt(int32(i))
+		out[i] = s.edgeAt(sym32(i))
 	}
 	return out
 }
@@ -364,6 +376,8 @@ func (es EdgeSeq) Edges() []Edge {
 // descending typicality (ties: tail ID, then relation) — the same order
 // as Graph.IntentionsFor. The returned view is a slice into the frozen
 // index: no locks, no sorting, no allocation.
+//
+//cosmo:alloc-free
 func (s *Snapshot) IntentionsFor(head string) EdgeSeq {
 	h, ok := s.sym[head]
 	if !ok {
@@ -377,24 +391,60 @@ func (s *Snapshot) IntentionsFor(head string) EdgeSeq {
 // set and the (candidate, tail) via pairs. Pooled on the snapshot so
 // steady-state walks allocate only their result.
 type relatedScratch struct {
+	snap  *Snapshot
 	score []float64
 	seen  []int32
 	pairs []viaPair
+	out   []Related // result slice during the final sort; cleared before Put
 }
 
 type viaPair struct{ cand, tail int32 }
+
+// relatedScratch sorts its via pairs per candidate with labels
+// ascending (sort.Interface on the pooled scratch instead of a
+// sort.Slice closure: no closure capture, no interface boxing, and
+// direct swaps instead of reflection).
+func (sc *relatedScratch) Len() int { return len(sc.pairs) }
+func (sc *relatedScratch) Less(a, b int) bool {
+	if sc.pairs[a].cand != sc.pairs[b].cand {
+		return sc.pairs[a].cand < sc.pairs[b].cand
+	}
+	return sc.snap.labels[sc.pairs[a].tail] < sc.snap.labels[sc.pairs[b].tail]
+}
+func (sc *relatedScratch) Swap(a, b int) { sc.pairs[a], sc.pairs[b] = sc.pairs[b], sc.pairs[a] }
+
+// relatedOutSorter is the same pooled scratch viewed as a sorter for
+// the result slice: score descending, then product ID ascending.
+type relatedOutSorter relatedScratch
+
+func (so *relatedOutSorter) Len() int { return len(so.out) }
+func (so *relatedOutSorter) Less(i, j int) bool {
+	if so.out[i].Score != so.out[j].Score {
+		return so.out[i].Score > so.out[j].Score
+	}
+	return so.out[i].ProductID < so.out[j].ProductID
+}
+func (so *relatedOutSorter) Swap(i, j int) { so.out[i], so.out[j] = so.out[j], so.out[i] }
+
+// emptyRelated is the canonical empty result, hoisted so the unknown-
+// head path stays allocation-free.
+var emptyRelated = []Related{}
 
 // RelatedProducts walks head → intention → product two-hop paths over
 // interned int IDs and returns up to k products sharing intentions with
 // the head, best first. Semantically identical to Graph.RelatedProducts
 // (bitwise-equal scores, same ordering); the CSR walk takes no locks
-// and builds no maps.
+// and builds no maps. The only allocations are the sized result and
+// per-candidate via slices; everything else runs on pooled scratch.
+//
+//cosmo:alloc-free
 func (s *Snapshot) RelatedProducts(head string, k int) []Related {
 	h, ok := s.sym[head]
 	if !ok {
-		return []Related{}
+		return emptyRelated
 	}
 	sc := s.scratch.Get().(*relatedScratch)
+	sc.snap = s
 	if len(sc.score) < len(s.ids) {
 		sc.score = make([]float64, len(s.ids))
 	}
@@ -419,19 +469,16 @@ func (s *Snapshot) RelatedProducts(head string, k int) []Related {
 	// Group via pairs per candidate with labels ascending; consecutive
 	// dedupe below matches the legacy label-set semantics (distinct
 	// tails can share a label).
-	sort.Slice(sc.pairs, func(a, b int) bool {
-		if sc.pairs[a].cand != sc.pairs[b].cand {
-			return sc.pairs[a].cand < sc.pairs[b].cand
-		}
-		return s.labels[sc.pairs[a].tail] < s.labels[sc.pairs[b].tail]
-	})
+	sort.Sort(sc)
 	out := make([]Related, 0, len(sc.seen))
 	for i := 0; i < len(sc.pairs); {
 		c := sc.pairs[i].cand
-		var via []string
 		j := i
 		for ; j < len(sc.pairs) && sc.pairs[j].cand == c; j++ {
-			lbl := s.labels[sc.pairs[j].tail]
+		}
+		via := make([]string, 0, j-i)
+		for p := i; p < j; p++ {
+			lbl := s.labels[sc.pairs[p].tail]
 			if len(via) == 0 || via[len(via)-1] != lbl {
 				via = append(via, lbl)
 			}
@@ -444,21 +491,19 @@ func (s *Snapshot) RelatedProducts(head string, k int) []Related {
 		})
 		i = j
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ProductID < out[j].ProductID
-	})
+	sc.out = out
+	sort.Sort((*relatedOutSorter)(sc))
 	if k < len(out) {
 		out = out[:k]
 	}
-	// Reset and recycle the scratch.
+	// Reset and recycle the scratch. sc.out must not pin the slice we
+	// return to the caller.
 	for _, c := range sc.seen {
 		sc.score[c] = 0
 	}
 	sc.seen = sc.seen[:0]
 	sc.pairs = sc.pairs[:0]
+	sc.out = nil
 	s.scratch.Put(sc)
 	return out
 }
@@ -474,7 +519,7 @@ func (s *Snapshot) ComputeStats() Stats {
 	}
 	for di, d := range s.doms {
 		ds := DomainStats{}
-		for _, e := range s.byDom.row(int32(di)) {
+		for _, e := range s.byDom.row(sym32(di)) {
 			if s.eBeh[e] == know.SearchBuy {
 				ds.SearchBuyEdges++
 			} else {

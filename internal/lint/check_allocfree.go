@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocFreeCheck certifies functions annotated
+//
+//	//cosmo:alloc-free
+//
+// in their doc comment. The annotation is the static mirror of the
+// AllocsPerRun==0 benchmarks guarding the PR 4 hot path
+// (Snapshot.IntentionsFor, Snapshot.RelatedProducts, embedding.Embed):
+// the tests prove the current compiler emits no allocations, the
+// annotation makes the *source-level* discipline that keeps it true
+// reviewable and machine-checked. The contract is "no hidden or
+// unbounded allocation sites":
+//
+//   - no append without cap evidence in the same function (a 3-arg
+//     make, or an x[:0] reslice of pooled scratch);
+//   - no non-constant string concatenation, and no string<->[]byte/
+//     []rune conversions;
+//   - no map or channel make, no map/slice composite literals, no new;
+//   - no function literals that capture variables (captured vars
+//     escape);
+//   - no fmt calls;
+//   - no interface boxing: conversions or call arguments placing a
+//     non-pointer-shaped concrete value (struct, slice, string,
+//     basic) into an interface parameter.
+//
+// Deliberate, sized allocations — make([]T, n) and struct literals —
+// stay legal: the contract bans the allocations that creep in by
+// accident, and the AllocsPerRun tests remain the runtime oracle for
+// what the compiler actually emits (escape analysis can both save and
+// betray you; the static check only sees the source).
+var allocFreeCheck = Check{
+	Name:     "alloc-free",
+	Doc:      "certify //cosmo:alloc-free annotated functions: no hidden or unbounded allocation constructs in the body",
+	Severity: SeverityError,
+	Run:      runAllocFree,
+}
+
+// AllocFreeDirective is the function annotation the alloc-free check
+// certifies.
+const AllocFreeDirective = "//cosmo:alloc-free"
+
+// hasAllocFreeMarker reports whether the doc comment carries the
+// annotation.
+func hasAllocFreeMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == AllocFreeDirective || strings.HasPrefix(text, AllocFreeDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// builtinName resolves a call to the builtin it invokes ("append",
+// "make", "new"), or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isZeroReslice reports whether e is an x[:0]-style reslice — the
+// idiom that re-arms pooled scratch without allocating.
+func isZeroReslice(info *types.Info, e ast.Expr) bool {
+	sl, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || sl.High == nil {
+		return false
+	}
+	tv, ok := info.Types[sl.High]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
+}
+
+// collectCapEvidence records, per function body, every expression that
+// the source visibly bounds: assigned from a 3-arg make (explicit cap)
+// or from an x[:0] reslice. append onto one of these is growth within
+// a budget the author stated.
+func collectCapEvidence(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	capped := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			evidence := false
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+				builtinName(info, call) == "make" && len(call.Args) == 3 {
+				evidence = true
+			}
+			if isZeroReslice(info, rhs) {
+				evidence = true
+			}
+			if evidence {
+				capped[exprText(ast.Unparen(as.Lhs[i]))] = true
+			}
+		}
+		return true
+	})
+	return capped
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface is allocation-free: pointers, interfaces, and the
+// pointer-shaped reference types (chan, map, func) fit in the
+// interface word; everything else (struct, slice, string, array,
+// basic) is copied to the heap.
+func pointerShaped(t types.Type) bool {
+	if t == nil {
+		return true // untyped nil
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// isStringy reports whether t is string-kinded.
+func isStringy(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturesOuter reports whether the function literal references a
+// variable declared outside its own Pos/End range (a capture, which
+// forces the variable — and usually the closure — onto the heap).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captures; anything declared before
+		// the literal begins is.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// checkAllocFreeBody walks one annotated function and reports every
+// construct outside the contract.
+func checkAllocFreeBody(p *Pass, name string, body *ast.BlockStmt) {
+	capped := collectCapEvidence(p.Info, body)
+	report := func(pos token.Pos, construct string) {
+		p.Reportf(pos, "alloc-free",
+			"%s in %s, which is annotated %s; hoist it, pool it, or drop the annotation",
+			construct, name, AllocFreeDirective)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(p.Info, e) {
+				report(e.Pos(), "function literal capturing outer variables (closure + captured vars escape to the heap)")
+			}
+			return true
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[e]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				report(e.Pos(), "map composite literal")
+			case *types.Slice:
+				report(e.Pos(), "slice composite literal")
+			}
+			return true
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := p.Info.Types[e]; ok && tv.Value == nil && isStringy(tv.Type) {
+					report(e.Pos(), "non-constant string concatenation")
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 {
+				if tv, ok := p.Info.Types[e.Lhs[0]]; ok && isStringy(tv.Type) {
+					report(e.Pos(), "string += concatenation")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			checkAllocFreeCall(p, e, capped, report)
+			return true
+		}
+		return true
+	})
+}
+
+// checkAllocFreeCall applies the per-call rules: builtins, string
+// conversions, fmt, and interface boxing.
+func checkAllocFreeCall(p *Pass, call *ast.CallExpr, capped map[string]bool, report func(token.Pos, string)) {
+	switch builtinName(p.Info, call) {
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		dst := ast.Unparen(call.Args[0])
+		if capped[exprText(dst)] || isZeroReslice(p.Info, dst) {
+			return
+		}
+		report(call.Pos(), "append without cap evidence (no 3-arg make or [:0] reslice of the destination in this function)")
+		return
+	case "make":
+		if len(call.Args) == 0 {
+			return
+		}
+		tv, ok := p.Info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			report(call.Pos(), "map make")
+		case *types.Chan:
+			report(call.Pos(), "channel make")
+		}
+		return
+	case "new":
+		report(call.Pos(), "new()")
+		return
+	case "":
+		// not a builtin; fall through
+	default:
+		return
+	}
+
+	// Conversions: string <-> []byte/[]rune copy, and boxing into an
+	// interface type.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		argTV := p.Info.Types[call.Args[0]]
+		if argTV.Value == nil { // constant conversions fold away
+			switch {
+			case isStringy(tv.Type) && isByteOrRuneSlice(argTV.Type),
+				isByteOrRuneSlice(tv.Type) && isStringy(argTV.Type):
+				report(call.Pos(), "string/slice conversion (copies the contents)")
+			}
+		}
+		if _, ok := tv.Type.Underlying().(*types.Interface); ok && !pointerShaped(argTV.Type) {
+			report(call.Pos(), "interface conversion of a non-pointer value (boxes it on the heap)")
+		}
+		return
+	}
+
+	fn := calleeFunc(p.Info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt."+fn.Name()+" call (formats through interfaces and allocates)")
+		return
+	}
+
+	// Interface-typed parameters receiving non-pointer-shaped concrete
+	// arguments box them.
+	sig, _ := p.Info.Types[call.Fun].Type.(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				param = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else {
+				sl, _ := sig.Params().At(sig.Params().Len() - 1).Type().Underlying().(*types.Slice)
+				if sl == nil {
+					continue
+				}
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, ok := param.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		argTV, ok := p.Info.Types[arg]
+		if !ok || argTV.Value != nil {
+			continue
+		}
+		if !pointerShaped(argTV.Type) {
+			report(arg.Pos(), "non-pointer argument passed as interface parameter (boxes it on the heap)")
+		}
+	}
+}
+
+func runAllocFree(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasAllocFreeMarker(fd.Doc) {
+				continue
+			}
+			checkAllocFreeBody(p, fd.Name.Name, fd.Body)
+		}
+	}
+}

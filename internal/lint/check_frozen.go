@@ -15,9 +15,10 @@ import (
 // API (AddNode, AddEdge, Freeze, serialization) remains legal so those
 // packages can still build and persist graphs.
 var frozenServingCheck = Check{
-	Name: "frozen-serving",
-	Doc:  "serving-path packages must query frozen kg.Snapshot views, not the locked kg.Graph",
-	Run:  runFrozenServing,
+	Name:     "frozen-serving",
+	Doc:      "serving-path packages must query frozen kg.Snapshot views, not the locked kg.Graph",
+	Severity: SeverityError,
+	Run:      runFrozenServing,
 }
 
 // frozenGraphMethods are the lock-taking query methods of kg.Graph that

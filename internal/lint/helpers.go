@@ -99,8 +99,9 @@ func pathInAny(path string, prefixes []string) bool {
 // a function literal. Literals are analyzed as their own scopes so a
 // callback's returns don't count against its enclosing function.
 type funcBody struct {
-	decl *ast.FuncDecl // nil for literals
-	body *ast.BlockStmt
+	decl  *ast.FuncDecl // nil for literals
+	ftype *ast.FuncType
+	body  *ast.BlockStmt
 }
 
 // forEachFuncBody visits every function body in the files, treating
@@ -112,10 +113,10 @@ func forEachFuncBody(files []*ast.File, visit func(fb funcBody)) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			visit(funcBody{decl: fd, body: fd.Body})
+			visit(funcBody{decl: fd, ftype: fd.Type, body: fd.Body})
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.FuncLit); ok {
-					visit(funcBody{body: lit.Body})
+					visit(funcBody{ftype: lit.Type, body: lit.Body})
 				}
 				return true
 			})

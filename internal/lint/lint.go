@@ -24,15 +24,45 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"cosmo/internal/parallel"
 )
+
+// Severity ranks a check's findings for gating: "error" findings are
+// invariant violations that must block a merge; "warn" findings are
+// advisory (heuristic checks whose evidence is circumstantial). The
+// module itself is held to zero findings at either level; the split
+// exists so downstream consumers (CI gates, editors) can choose.
+type Severity string
+
+// The two severity levels, ordered warn < error.
+const (
+	SeverityWarn  Severity = "warn"
+	SeverityError Severity = "error"
+)
+
+// AtLeast reports whether s meets the gate (error ≥ warn ≥ warn).
+func (s Severity) AtLeast(gate Severity) bool {
+	return s == SeverityError || gate == SeverityWarn
+}
+
+// ParseSeverity validates a severity name from a flag.
+func ParseSeverity(s string) (Severity, error) {
+	switch Severity(s) {
+	case SeverityWarn, SeverityError:
+		return Severity(s), nil
+	}
+	return "", fmt.Errorf("unknown severity %q (want %q or %q)", s, SeverityWarn, SeverityError)
+}
 
 // Finding is one analyzer diagnostic.
 type Finding struct {
-	File    string `json:"file"` // module-root-relative path
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
+	File     string   `json:"file"` // module-root-relative path
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
 }
 
 // String renders the canonical "file:line: [check] message" form.
@@ -58,6 +88,11 @@ type Config struct {
 	// must query frozen kg.Snapshot views instead of the locked
 	// kg.Graph.
 	FrozenServingPaths []string
+	// CtxPaths lists packages held to the context-propagation contract:
+	// context.Background/TODO are banned outside package main, and a
+	// function holding a ctx must not call the context-less variant of a
+	// callee that has a Context sibling.
+	CtxPaths []string
 }
 
 // DefaultConfig returns the repo's own policy: wall-clock reads are
@@ -90,18 +125,25 @@ func DefaultConfig() Config {
 			"cosmo/cmd/cosmo-serve",
 			"cosmo/cmd/cosmo-kg",
 		},
+		CtxPaths: []string{
+			"cosmo/internal/serving",
+			"cosmo/internal/faults",
+			"cosmo/cmd/cosmo-serve",
+			"cosmo/cmd/cosmo-loadgen",
+		},
 	}
 }
 
 // Check is a named analysis run over one type-checked package.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name     string
+	Doc      string
+	Severity Severity
+	Run      func(*Pass)
 }
 
 // AllChecks returns the registry in deterministic order. Adding check
-// seven means writing one Run function against Pass and listing it
+// twelve means writing one Run function against Pass and listing it
 // here.
 func AllChecks() []Check {
 	return []Check{
@@ -111,6 +153,11 @@ func AllChecks() []Check {
 		unboundedAppendCheck,
 		droppedErrorCheck,
 		frozenServingCheck,
+		uncheckedNarrowingCheck,
+		sentinelCompareCheck,
+		ctxPropagationCheck,
+		allocFreeCheck,
+		atomicHygieneCheck,
 	}
 }
 
@@ -122,9 +169,10 @@ type Pass struct {
 	Info   *types.Info
 	Config Config
 
-	ignores ignoreIndex
-	relPath func(string) string
-	out     *[]Finding
+	severity Severity // of the check currently running
+	ignores  ignoreIndex
+	relPath  func(string) string
+	out      *[]Finding
 }
 
 // Reportf records a finding at pos unless a matching
@@ -135,46 +183,71 @@ func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
 		return
 	}
 	*p.out = append(*p.out, Finding{
-		File:    p.relPath(position.Filename),
-		Line:    position.Line,
-		Col:     position.Column,
-		Check:   check,
-		Message: fmt.Sprintf(format, args...),
+		File:     p.relPath(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Check:    check,
+		Severity: p.severity,
+		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// runPackage executes the enabled checks over one package and returns
+// its findings, unsorted. It touches no shared state: packages are
+// immutable after loading, so the parallel driver fans packages out
+// across the worker pool and each invocation appends to its own slice.
+func runPackage(pkg *Package, cfg Config, enabled map[string]bool) []Finding {
+	var out []Finding
+	ignores, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	pass := &Pass{
+		Fset:    pkg.Fset,
+		Files:   pkg.Files,
+		Pkg:     pkg.Types,
+		Info:    pkg.Info,
+		Config:  cfg,
+		ignores: ignores,
+		relPath: pkg.relPath,
+		out:     &out,
+	}
+	// Malformed directives are findings themselves: a suppression
+	// without a reason defeats the self-documentation it exists for.
+	for _, f := range bad {
+		f.File = pkg.relPath(f.File)
+		f.Severity = SeverityError
+		out = append(out, f)
+	}
+	for _, c := range AllChecks() {
+		if len(enabled) > 0 && !enabled[c.Name] {
+			continue
+		}
+		pass.severity = c.Severity
+		c.Run(pass)
+	}
+	return out
 }
 
 // Run executes the configured checks over the loaded packages and
 // returns all findings sorted by file, line, column, check.
 func Run(pkgs []*Package, cfg Config) []Finding {
+	return RunParallel(pkgs, cfg, 1)
+}
+
+// RunParallel is Run with the per-package analysis fanned out across
+// workers goroutines (<= 0 means GOMAXPROCS) on the internal/parallel
+// pool. The finding order is deterministic and identical for every
+// worker count: the pool preserves package order, per-package findings
+// are independent, and the final total sort breaks every tie.
+func RunParallel(pkgs []*Package, cfg Config, workers int) []Finding {
 	enabled := map[string]bool{}
 	for _, name := range cfg.Checks {
 		enabled[name] = true
 	}
+	perPkg := parallel.Map(workers, pkgs, func(i int, pkg *Package) []Finding {
+		return runPackage(pkg, cfg, enabled)
+	})
 	var out []Finding
-	for _, pkg := range pkgs {
-		ignores, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
-		pass := &Pass{
-			Fset:    pkg.Fset,
-			Files:   pkg.Files,
-			Pkg:     pkg.Types,
-			Info:    pkg.Info,
-			Config:  cfg,
-			ignores: ignores,
-			relPath: pkg.relPath,
-			out:     &out,
-		}
-		// Malformed directives are findings themselves: a suppression
-		// without a reason defeats the self-documentation it exists for.
-		for _, f := range bad {
-			f.File = pkg.relPath(f.File)
-			out = append(out, f)
-		}
-		for _, c := range AllChecks() {
-			if len(enabled) > 0 && !enabled[c.Name] {
-				continue
-			}
-			c.Run(pass)
-		}
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -187,7 +260,21 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 	return out
+}
+
+// CountAtLeast reports how many findings meet the severity gate.
+func CountAtLeast(findings []Finding, gate Severity) int {
+	n := 0
+	for _, f := range findings {
+		if f.Severity.AtLeast(gate) {
+			n++
+		}
+	}
+	return n
 }

@@ -182,6 +182,76 @@ func TestFixtures(t *testing.T) {
 			want: nil,
 		},
 		{
+			name:    "unchecked-narrowing",
+			fixture: "uncheckednarrowing",
+			want: []string{
+				"bad.go:7:unchecked-narrowing",
+				"bad.go:11:unchecked-narrowing",
+				"bad.go:17:unchecked-narrowing",
+				"bad.go:24:unchecked-narrowing",
+			},
+		},
+		{
+			name:    "sentinel-compare",
+			fixture: "sentinelcompare",
+			want: []string{
+				"bad.go:13:sentinel-compare",
+				"bad.go:17:sentinel-compare",
+				"bad.go:22:sentinel-compare",
+			},
+		},
+		{
+			name:    "ctx-propagation",
+			fixture: "ctxpropagation",
+			config: func(c *Config) {
+				c.Checks = []string{"ctx-propagation"}
+				c.CtxPaths = []string{"cosmo/internal/lint/testdata/src/ctxpropagation"}
+			},
+			want: []string{
+				"bad.go:9:ctx-propagation",
+				"bad.go:13:ctx-propagation",
+				"bad.go:17:ctx-propagation",
+				"bad.go:21:ctx-propagation",
+			},
+		},
+		{
+			name:    "ctx-propagation-outside-serving",
+			fixture: "ctxpropagation",
+			config: func(c *Config) {
+				c.Checks = []string{"ctx-propagation"}
+				c.CtxPaths = nil // offline code may root its own contexts
+			},
+			want: nil,
+		},
+		{
+			name:    "alloc-free",
+			fixture: "allocfree",
+			want: []string{
+				"bad.go:11:alloc-free",
+				"bad.go:12:alloc-free",
+				"bad.go:13:alloc-free",
+				"bad.go:14:alloc-free",
+				"bad.go:15:alloc-free",
+				"bad.go:16:alloc-free",
+				"bad.go:17:alloc-free",
+				"bad.go:18:alloc-free",
+				"bad.go:19:alloc-free",
+				"bad.go:20:alloc-free",
+				"bad.go:21:alloc-free",
+			},
+		},
+		{
+			name:    "atomic-hygiene",
+			fixture: "atomichygiene",
+			want: []string{
+				"bad.go:12:atomic-hygiene",
+				"bad.go:16:atomic-hygiene",
+				"bad.go:21:atomic-hygiene",
+				"bad.go:27:atomic-hygiene",
+				"bad.go:42:atomic-hygiene",
+			},
+		},
+		{
 			name:    "lint-ignore-directive-validation",
 			fixture: "directives",
 			want: []string{
@@ -227,20 +297,24 @@ func TestFindingString(t *testing.T) {
 
 // TestFindingJSON pins the machine-readable shape behind -json.
 func TestFindingJSON(t *testing.T) {
-	data, err := json.Marshal(Finding{File: "a.go", Line: 1, Col: 2, Check: "wallclock", Message: "m"})
+	data, err := json.Marshal(Finding{File: "a.go", Line: 1, Col: 2, Check: "wallclock", Severity: SeverityError, Message: "m"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"file":"a.go","line":1,"col":2,"check":"wallclock","message":"m"}`
+	want := `{"file":"a.go","line":1,"col":2,"check":"wallclock","severity":"error","message":"m"}`
 	if string(data) != want {
 		t.Errorf("JSON = %s, want %s", data, want)
 	}
 }
 
-// TestCheckRegistry guards the shipped check set: six invariant checks,
-// deterministic order, non-empty docs.
+// TestCheckRegistry guards the shipped check set: eleven invariant
+// checks, deterministic order, non-empty docs, valid severities.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"seeded-rand", "wallclock", "mutex-hygiene", "unbounded-append", "dropped-error", "frozen-serving"}
+	want := []string{
+		"seeded-rand", "wallclock", "mutex-hygiene", "unbounded-append",
+		"dropped-error", "frozen-serving", "unchecked-narrowing",
+		"sentinel-compare", "ctx-propagation", "alloc-free", "atomic-hygiene",
+	}
 	checks := AllChecks()
 	if len(checks) != len(want) {
 		t.Fatalf("got %d checks, want %d", len(checks), len(want))
@@ -252,6 +326,40 @@ func TestCheckRegistry(t *testing.T) {
 		if c.Doc == "" || c.Run == nil {
 			t.Errorf("check %q missing doc or run func", c.Name)
 		}
+		if c.Severity != SeverityWarn && c.Severity != SeverityError {
+			t.Errorf("check %q has invalid severity %q", c.Name, c.Severity)
+		}
+	}
+}
+
+// TestSeverity pins the gating algebra the CLI's -severity flag and
+// CountAtLeast rely on.
+func TestSeverity(t *testing.T) {
+	if !SeverityError.AtLeast(SeverityWarn) || !SeverityError.AtLeast(SeverityError) {
+		t.Error("error findings must pass both gates")
+	}
+	if !SeverityWarn.AtLeast(SeverityWarn) {
+		t.Error("warn findings must pass the warn gate")
+	}
+	if SeverityWarn.AtLeast(SeverityError) {
+		t.Error("warn findings must not pass the error gate")
+	}
+	if _, err := ParseSeverity("warn"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown level")
+	}
+	findings := []Finding{
+		{Severity: SeverityWarn},
+		{Severity: SeverityError},
+		{Severity: SeverityWarn},
+	}
+	if n := CountAtLeast(findings, SeverityWarn); n != 3 {
+		t.Errorf("CountAtLeast(warn) = %d, want 3", n)
+	}
+	if n := CountAtLeast(findings, SeverityError); n != 1 {
+		t.Errorf("CountAtLeast(error) = %d, want 1", n)
 	}
 }
 
@@ -264,7 +372,7 @@ func TestModuleLintClean(t *testing.T) {
 	}
 	l := fixtureLoader(t)
 	loaderMu.Lock()
-	pkgs, err := l.LoadAll()
+	pkgs, err := l.LoadAll(0)
 	loaderMu.Unlock()
 	if err != nil {
 		t.Fatalf("LoadAll: %v", err)

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -40,14 +41,33 @@ func (p *Package) relPath(filename string) string {
 // resolves through go/importer's source importer. Test files are not
 // loaded: the invariants guard production code, and tests legitimately
 // use fixed ad-hoc seeds and wall clocks.
+//
+// LoadAll is safe to run with many workers (token.FileSet is
+// internally locked, finished *types.Package values are immutable, and
+// the two shared mutable structures — the package memo and the stdlib
+// source importer — sit behind mutexes). The sequential LoadDir entry
+// point is not itself goroutine-safe; callers who share a Loader
+// across goroutines must serialize LoadDir calls.
 type Loader struct {
 	ModuleRoot string
 	ModulePath string
 
 	fset    *token.FileSet
 	std     types.Importer
+	stdMu   sync.Mutex          // go/importer's source importer memoizes without locking
+	mu      sync.Mutex          // guards pkgs during parallel waves
 	pkgs    map[string]*Package // memoized by absolute dir
-	loading map[string]bool     // import-cycle guard
+	loading map[string]bool     // import-cycle guard (sequential LoadDir only)
+}
+
+// stdImport resolves a non-module import through the stdlib source
+// importer, serialized: the importer memoizes into an unlocked map.
+// Each stdlib package is type-checked once and then served from the
+// memo, so the critical section is cold exactly once per package.
+func (l *Loader) stdImport(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
+	return l.std.Import(path)
 }
 
 // NewLoader builds a loader for the module rooted at moduleRoot
@@ -91,9 +111,11 @@ func readModulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("%s: no module line", gomod)
 }
 
-// LoadAll loads every package in the module, in deterministic
-// directory order, skipping testdata, hidden, and VCS directories.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// LoadAll loads every package in the module in deterministic directory
+// order, skipping testdata, hidden, and VCS directories, with parsing
+// and type-checking fanned out across workers goroutines (<= 0 means
+// GOMAXPROCS). The returned slice is identical for every worker count.
+func (l *Loader) LoadAll(workers int) ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -115,15 +137,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
+	return l.loadAllParallel(dirs, workers)
 }
 
 func hasGoFiles(dir string) bool {
@@ -221,5 +235,5 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	return l.std.Import(path)
+	return l.stdImport(path)
 }

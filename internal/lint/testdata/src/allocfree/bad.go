@@ -1,0 +1,26 @@
+package allocfree
+
+import "fmt"
+
+// Known-bad: an annotated function riddled with hidden allocation
+// sites; the checker reports each construct.
+
+//cosmo:alloc-free
+func leaky(xs []int, s string) int {
+	var out []int
+	out = append(out, len(xs)) // line 11: finding (no cap evidence)
+	m := make(map[string]int)  // line 12: finding (map make)
+	ch := make(chan int, 1)    // line 13: finding (channel make)
+	p := new(int)              // line 14: finding (new)
+	lits := []int{1, 2}        // line 15: finding (slice literal)
+	b := []byte(s)             // line 16: finding (string->[]byte copy)
+	msg := s + "!"             // line 17: finding (string concat)
+	cl := func() int { return len(xs) } // line 18: finding (capturing closure)
+	boxed := any(s)            // line 19: finding (interface conversion boxes)
+	consume(len(msg))          // line 20: finding (non-pointer arg boxed into interface param)
+	fmt.Println()              // line 21: finding (fmt call)
+	_ = boxed
+	return len(out) + len(m) + cap(ch) + *p + lits[0] + len(b) + cl()
+}
+
+func consume(v any) {}

@@ -1,0 +1,47 @@
+package allocfree
+
+// Known-good: annotated functions whose only allocations are sized and
+// deliberate, plus an unannotated function the check leaves alone.
+
+type point struct{ x, y float64 }
+
+//cosmo:alloc-free
+func disciplined(xs []float64) []float64 {
+	out := make([]float64, len(xs)) // sized make: a deliberate result buffer
+	for i, v := range xs {
+		out[i] = v * 2
+	}
+	return out
+}
+
+//cosmo:alloc-free
+func pooled(scratch []int, n int) []int {
+	buf := scratch[:0] // [:0] reslice re-arms pooled capacity
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+//cosmo:alloc-free
+func capped(n int) []int {
+	buf := make([]int, 0, n) // 3-arg make states the budget
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+//cosmo:alloc-free
+func structsAndStatics(xs []point) (point, func() int) {
+	f := func() int { return 42 } // captures nothing: a static func value
+	p := point{x: 1, y: 2}        // struct literal: a value, not a heap box
+	if len(xs) > 0 {
+		p = xs[0]
+	}
+	return p, f
+}
+
+func unannotated(s string) string {
+	return s + "!" // not annotated: the check does not apply
+}

@@ -1,0 +1,18 @@
+package allocfree
+
+import "sort"
+
+// Suppression: a reasoned escape hatch inside a certified function for
+// a construct the author measured to be free.
+
+type intSlice []int
+
+func (s intSlice) Len() int           { return len(s) }
+func (s intSlice) Less(i, j int) bool { return s[i] < s[j] }
+func (s intSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+//cosmo:alloc-free
+func sorted(xs []int) {
+	//cosmo:lint-ignore alloc-free one boxing at the tail of the walk; AllocsPerRun pins the real count
+	sort.Sort(intSlice(xs))
+}

@@ -1,0 +1,43 @@
+package atomichygiene
+
+import "sync/atomic"
+
+// Known-bad: by-value copies of atomic-containing types, and plain
+// access to a word that sync/atomic functions own elsewhere.
+
+type counter struct {
+	hits atomic.Int64
+}
+
+func byValueParam(c counter) int64 { // line 12: finding (param)
+	return c.hits.Load()
+}
+
+func (c counter) byValueRecv() int64 { // line 16: finding (receiver)
+	return c.hits.Load()
+}
+
+func copyAssign(c *counter) int64 {
+	snapshot := *c // line 21: finding (dereference copy)
+	return snapshot.hits.Load()
+}
+
+func rangeCopy(cs []counter) int64 {
+	var n int64
+	for _, c := range cs { // line 27: finding (range copies elements)
+		n += c.hits.Load()
+	}
+	return n
+}
+
+type mixed struct {
+	n int64
+}
+
+func (m *mixed) inc() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func (m *mixed) badRead() int64 {
+	return m.n // line 42: finding (plain read of an atomic word)
+}

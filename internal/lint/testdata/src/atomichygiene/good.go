@@ -1,0 +1,41 @@
+package atomichygiene
+
+import "sync/atomic"
+
+// Known-good: atomic-containing types travel by pointer, and atomic
+// words are touched only through sync/atomic.
+
+type gauge struct {
+	val atomic.Int64
+}
+
+func byPointer(g *gauge) int64 {
+	return g.val.Load()
+}
+
+func pointerSlice(gs []*gauge) int64 {
+	var n int64
+	for _, g := range gs {
+		n += g.val.Load()
+	}
+	return n
+}
+
+type swap struct {
+	snap atomic.Pointer[gauge]
+}
+
+func (s *swap) publish(g *gauge) { s.snap.Store(g) }
+func (s *swap) view() *gauge     { return s.snap.Load() }
+
+type word struct {
+	n int64
+}
+
+func (w *word) add(d int64) int64 {
+	return atomic.AddInt64(&w.n, d)
+}
+
+func (w *word) read() int64 {
+	return atomic.LoadInt64(&w.n)
+}

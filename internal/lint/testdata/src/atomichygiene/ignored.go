@@ -1,0 +1,21 @@
+package atomichygiene
+
+import "sync/atomic"
+
+// Suppression: pre-publication initialization is single-goroutine by
+// construction and documents itself.
+
+type boot struct {
+	n int64
+}
+
+func (b *boot) bump(d int64) int64 {
+	return atomic.AddInt64(&b.n, d)
+}
+
+func newBoot(seed int64) *boot {
+	b := &boot{}
+	//cosmo:lint-ignore atomic-hygiene pre-publication init: no other goroutine can hold b yet
+	b.n = seed
+	return b
+}

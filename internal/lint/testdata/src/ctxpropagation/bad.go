@@ -1,0 +1,22 @@
+package ctxpropagation
+
+import "context"
+
+// Known-bad: minted root contexts in library code, and ctx-less calls
+// from functions that hold a ctx when a Context sibling exists.
+
+func mintRoot() context.Context {
+	return context.Background() // line 9: finding
+}
+
+func mintTodo() context.Context {
+	return context.TODO() // line 13: finding
+}
+
+func holder(ctx context.Context) int {
+	return Process(1) // line 17: finding (ProcessContext exists)
+}
+
+func methodHolder(ctx context.Context, w *worker) {
+	w.Run() // line 21: finding (RunContext exists)
+}

@@ -1,0 +1,38 @@
+package ctxpropagation
+
+import "context"
+
+// Known-good: ctx threads to every Context-sibling callee; the sibling
+// rule does not apply without a ctx in hand; deriving from a received
+// ctx is the sanctioned way to scope work.
+
+func Process(n int) int { return n }
+
+func ProcessContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+type worker struct{}
+
+func (w *worker) Run() {}
+
+func (w *worker) RunContext(ctx context.Context) {}
+
+func threaded(ctx context.Context, w *worker) int {
+	w.RunContext(ctx)
+	return ProcessContext(ctx, 1)
+}
+
+func noCtxInHand(w *worker) int {
+	w.Run()
+	return Process(2)
+}
+
+func derived(ctx context.Context) context.Context {
+	next, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return next
+}

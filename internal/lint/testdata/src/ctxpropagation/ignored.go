@@ -1,0 +1,10 @@
+package ctxpropagation
+
+import "context"
+
+// Suppression: a legacy bridge documents why it roots at Background.
+
+func legacyBridge(n int) int {
+	//cosmo:lint-ignore ctx-propagation legacy infallible bridge: callers predate the ctx API and have no deadline to thread
+	return ProcessContext(context.Background(), n)
+}

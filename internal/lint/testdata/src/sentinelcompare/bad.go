@@ -1,0 +1,28 @@
+package sentinelcompare
+
+import (
+	"errors"
+	"io"
+)
+
+// Known-bad: identity comparisons against exported sentinel errors.
+
+var ErrBoom = errors.New("boom")
+
+func eq(err error) bool {
+	return err == ErrBoom // line 13: finding
+}
+
+func neq(err error) bool {
+	return err != io.EOF // line 17: finding
+}
+
+func sw(err error) int {
+	switch err {
+	case ErrBoom: // line 22: finding
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}

@@ -1,0 +1,24 @@
+package sentinelcompare
+
+import (
+	"errors"
+	"io"
+)
+
+// Known-good: errors.Is, nil comparisons, and unexported sentinels
+// (identity is package-controlled; they never cross a wrap boundary
+// the package doesn't own).
+
+var errInternal = errors.New("internal")
+
+func wrapped(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, ErrBoom)
+}
+
+func nilCheck(err error) bool {
+	return err == nil || err != nil
+}
+
+func internal(err error) bool {
+	return err == errInternal
+}

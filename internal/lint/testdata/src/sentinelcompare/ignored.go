@@ -1,0 +1,10 @@
+package sentinelcompare
+
+import "io"
+
+// Suppression: an identity comparison documented as intentional.
+
+func exactEOF(err error) bool {
+	//cosmo:lint-ignore sentinel-compare bufio.Reader returns bare io.EOF by contract, never wrapped
+	return err == io.EOF
+}

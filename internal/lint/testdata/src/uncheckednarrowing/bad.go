@@ -1,0 +1,31 @@
+package uncheckednarrowing
+
+// Known-bad: lossy integer conversions with no range-guard evidence in
+// the converting function.
+
+func toSym(i int) int32 {
+	return int32(i) // line 7: finding
+}
+
+func toByte(v uint64) uint8 {
+	return uint8(v) // line 11: finding
+}
+
+func indexNoGuard(xs []string) []uint16 {
+	out := make([]uint16, 0, len(xs))
+	for i := range xs {
+		out = append(out, uint16(i)) // line 17: finding (len(xs) never compared)
+	}
+	return out
+}
+
+func guardedElsewhere(n int) int32 {
+	checkRange(n)
+	return int32(n) // line 24: finding (the guard must be in this function)
+}
+
+func checkRange(n int) {
+	if n > 1<<31-1 {
+		panic("out of range")
+	}
+}

@@ -1,0 +1,48 @@
+package uncheckednarrowing
+
+import "math"
+
+// Known-good: in-range constants, in-function guards, range-index
+// evidence, constant masks, and non-narrowing conversions.
+
+const smallConst = 255
+
+func constFit() (uint8, int32) {
+	return uint8(smallConst), int32(1 << 20)
+}
+
+func guarded(n int) (int32, bool) {
+	if n > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(n), true
+}
+
+func loopBound(xs []int) []int32 {
+	out := make([]int32, 0, len(xs))
+	for i := 0; i < len(xs); i++ {
+		out = append(out, int32(i)) // i compared against len(xs) above
+	}
+	return out
+}
+
+func rangeGuard(table []string) []uint8 {
+	if len(table) > 256 {
+		return nil
+	}
+	idx := make([]uint8, 0, len(table))
+	for i := range table {
+		idx = append(idx, uint8(i)) // range index over a len-compared slice
+	}
+	return idx
+}
+
+func masked(v uint64) uint16 {
+	return uint16(v & 0xffff)
+}
+
+func notNarrowing(v int32) (int64, uint32, float64) {
+	// Widening, same-width sign flip, and float conversions are out of
+	// scope: none can silently drop high bits.
+	return int64(v), uint32(v), float64(v)
+}

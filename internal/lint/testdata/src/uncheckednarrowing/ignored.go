@@ -1,0 +1,9 @@
+package uncheckednarrowing
+
+// Suppression: a reasoned directive tolerates a narrowing whose bound
+// is enforced by a caller-level invariant.
+
+func trustedSym(i int) int32 {
+	//cosmo:lint-ignore unchecked-narrowing symbol space is capacity-checked once at freeze time
+	return int32(i)
+}

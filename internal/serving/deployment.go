@@ -248,6 +248,7 @@ func (d *Deployment) BatchTotals() BatchTotals {
 // successfully processed (for infallible responders this equals the
 // number drained, preserving the legacy contract).
 func (d *Deployment) RunBatch(n int) int {
+	//cosmo:lint-ignore ctx-propagation legacy infallible bridge: callers predate the ctx API and have no deadline to thread
 	return d.RunBatchContext(context.Background(), n).Succeeded
 }
 
@@ -325,12 +326,14 @@ func (d *Deployment) StartWorker(ctx context.Context, interval time.Duration, ba
 			select {
 			case <-ctx.Done():
 				// Final drain: loop until the queue is empty. The
-				// worker's ctx is cancelled, so run the drain under a
-				// fresh context; a pass that drains queries but
-				// completes none means the responder is down and
-				// looping would re-queue forever.
+				// worker's ctx is cancelled, so the drain runs under
+				// WithoutCancel — it keeps the caller's values (trace
+				// metadata survives) while shedding the cancellation
+				// that would abort every in-flight respond call; a pass
+				// that drains queries but completes none means the
+				// responder is down and looping would re-queue forever.
 				for {
-					r := d.RunBatchContext(context.Background(), batchSize)
+					r := d.RunBatchContext(context.WithoutCancel(ctx), batchSize)
 					if r.Drained == 0 || r.Succeeded == 0 {
 						return
 					}
@@ -346,6 +349,7 @@ func (d *Deployment) StartWorker(ctx context.Context, interval time.Duration, ba
 // DailyRefresh adapts a legacy infallible responder into
 // DailyRefreshContext (kept for offline experiments and fixtures).
 func (d *Deployment) DailyRefresh(responder Responder, kgSnap *kg.Snapshot, yearlyTop int) error {
+	//cosmo:lint-ignore ctx-propagation legacy infallible bridge: callers predate the ctx API and have no deadline to thread
 	return d.DailyRefreshContext(context.Background(), AdaptResponder(responder), kgSnap, yearlyTop)
 }
 
