@@ -9,6 +9,7 @@
 //	cosmo-bench -all [-scale 4]
 //	cosmo-bench -exp serving -json bench.json
 //	cosmo-bench -scalebench 1,10,100 -json BENCH_6.json
+//	cosmo-bench -wirebench -json BENCH_8.json
 //
 // With -json, each experiment run is also measured (wall time and heap
 // allocations around the run, with the shared pipeline world built
@@ -62,6 +63,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for the pipeline's parallel stages (0 = GOMAXPROCS); never changes results")
 	jsonOut := flag.String("json", "", "write per-experiment timing/allocation measurements to this path")
 	scaleBench := flag.String("scalebench", "", "comma-separated KG scale factors (e.g. 1,10,100): run the snapshot persistence harness instead of experiments")
+	wireBench := flag.Bool("wirebench", false, "run the serving wire benchmarks (stdlib vs pooled encoders, batch, ANN) instead of experiments")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +77,12 @@ func main() {
 
 	if *scaleBench != "" {
 		if err := runScaleBench(r, *scaleBench, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *wireBench {
+		if err := runWireBench(r, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

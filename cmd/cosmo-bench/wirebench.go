@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+
+	"cosmo/internal/experiments"
+	"cosmo/internal/kg"
+	"cosmo/internal/serving"
+	"cosmo/internal/wire"
+)
+
+// wireResult is one wire-speed measurement in the -wirebench output.
+// Recall is only set for the ANN rows (Lookup vs the exact scan at the
+// same depth).
+type wireResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Recall      float64 `json:"recall,omitempty"`
+}
+
+// handlerIntention mirrors the response shape the /intentions handler
+// encoded through the stdlib before the hand-rolled encoders.
+type handlerIntention struct {
+	Relation  string  `json:"relation"`
+	Intention string  `json:"intention"`
+	Plausible float64 `json:"plausible"`
+	Typical   float64 `json:"typical"`
+	Support   int     `json:"support"`
+}
+
+// runWireBench measures the serving wire path on a scaled graph: the
+// stdlib encoders the handlers used to call, the pooled hand-rolled
+// replacements, the batched lookup path, and ANN vs exact similarity
+// retrieval. Results go to stdout and, with -json, to jsonOut (CI
+// archives this as BENCH_8.json).
+func runWireBench(r *experiments.Runner, jsonOut string) error {
+	g, err := r.ScaledKG(3)
+	if err != nil {
+		return err
+	}
+	snap, err := g.FreezeChecked()
+	if err != nil {
+		return err
+	}
+
+	// A head with both intentions and related products keeps every
+	// benchmark on a non-trivial path.
+	var head string
+	for _, n := range snap.Nodes() {
+		if n.Type == kg.NodeProduct && snap.IntentionsFor(n.ID).Len() > 0 {
+			head = n.ID
+			break
+		}
+	}
+	if head == "" {
+		return fmt.Errorf("cosmo-bench: scaled graph has no product with intentions")
+	}
+
+	d := serving.NewDeployment(serving.DeployConfig{DailyCacheCap: 1024},
+		serving.ResponderFunc(func(q string) serving.Feature {
+			return serving.Feature{Query: q, Intents: []string{"used for " + q}}
+		}))
+	d.SetKG(snap)
+	feature := serving.Feature{
+		Query:       "camping",
+		Intents:     []string{"used for camping trips", "bench"},
+		Relations:   []string{"USED_FOR_FUNC"},
+		SubCategory: "outdoor",
+		Version:     2,
+	}
+
+	// The batched path: 64 KG lookups per request, reusing one body and
+	// one pooled destination, the way the /batch handler drives it.
+	var batchBody []byte
+	batchBody = append(batchBody, '[')
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			batchBody = append(batchBody, ',')
+		}
+		if i%2 == 0 {
+			batchBody = append(batchBody, `{"op":"intentions","id":`...)
+		} else {
+			batchBody = append(batchBody, `{"op":"related","id":`...)
+		}
+		batchBody = wire.AppendString(batchBody, head)
+		batchBody = append(batchBody, `,"k":10}`...)
+	}
+	batchBody = append(batchBody, ']')
+
+	ix := kg.BuildSimilarityIndex(snap, kg.SimilarityConfig{Seed: 1})
+	var queries []string
+	for _, n := range snap.Nodes() {
+		if n.Type == kg.NodeIntention && n.Label != "" {
+			queries = append(queries, n.Label)
+			if len(queries) == 256 {
+				break
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("cosmo-bench: scaled graph has no intention labels to query")
+	}
+	recall := ix.RecallAt(queries, 10)
+
+	bench := func(name string, fn func(b *testing.B)) wireResult {
+		res := testing.Benchmark(fn)
+		return wireResult{
+			Name:        name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+	var sink []byte
+	results := []wireResult{
+		bench("encode_intent_stdlib", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				sink, err = json.Marshal(feature)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("encode_intent_wire", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := wire.Get()
+				buf.B = serving.AppendFeatureJSON(buf.B[:0], &feature)
+				sink = buf.B
+				wire.Put(buf)
+			}
+		}),
+		bench("encode_intentions_stdlib", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// The legacy handler built the slice and wrapper map per
+				// request before encoding; the cost being replaced
+				// includes that materialization.
+				seq := snap.IntentionsFor(head)
+				n := seq.Len()
+				if n > 10 {
+					n = 10
+				}
+				out := make([]handlerIntention, n)
+				for j := 0; j < n; j++ {
+					e := seq.At(j)
+					tail, _ := snap.Node(e.Tail)
+					out[j] = handlerIntention{
+						Relation:  string(e.Relation),
+						Intention: tail.Label,
+						Plausible: e.PlausibleScore,
+						Typical:   e.TypicalScore,
+						Support:   e.Support,
+					}
+				}
+				var err error
+				sink, err = json.Marshal(map[string]any{"id": head, "intentions": out})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("encode_intentions_wire", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := wire.Get()
+				buf.B = serving.AppendIntentionsJSON(buf.B[:0], snap, head, 10)
+				sink = buf.B
+				wire.Put(buf)
+			}
+		}),
+		bench("encode_related_stdlib", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				sink, err = json.Marshal(map[string]any{"id": head, "related": snap.RelatedProducts(head, 10)})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("encode_related_wire", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := wire.Get()
+				buf.B = serving.AppendRelatedJSON(buf.B[:0], snap, head, 10)
+				sink = buf.B
+				wire.Put(buf)
+			}
+		}),
+		bench("batch64_wire", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := wire.Get()
+				var status int
+				buf.B, status = d.AppendBatch(buf.B[:0], batchBody)
+				if status != 200 {
+					b.Fatalf("batch status %d", status)
+				}
+				sink = buf.B
+				wire.Put(buf)
+			}
+		}),
+	}
+	var matches []kg.SimilarMatch
+	annRow := bench("similar_ann", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			matches = ix.Lookup(queries[i%len(queries)], 10)
+		}
+	})
+	annRow.Recall = recall
+	exactRow := bench("similar_exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			matches = ix.Exact(queries[i%len(queries)], 10)
+		}
+	})
+	exactRow.Recall = 1
+	results = append(results, annRow, exactRow)
+	_, _ = sink, matches
+
+	for _, res := range results {
+		if res.Recall > 0 {
+			fmt.Printf("%-26s %10d ns/op %8d allocs/op %10d B/op  recall@10 %.4f\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Recall)
+		} else {
+			fmt.Printf("%-26s %10d ns/op %8d allocs/op %10d B/op\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		}
+	}
+	if jsonOut == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d wire benchmarks)", jsonOut, len(results))
+	return nil
+}

@@ -8,13 +8,21 @@
 // server-side view (hit rate, queue depth, bounded-queue drops, batch
 // requeues and breaker state).
 //
+// With -batch N every request is a POST /batch carrying N intent
+// lookups, exercising the server's pooled batch path; latencies are
+// then per round trip while the served/queued counters stay per lookup.
+// Around every run the generator also scrapes /metrics for
+// cosmo_go_mallocs_total and reports the server's heap allocations per
+// request — the observable half of the zero-alloc encoding contract.
+//
 // Usage:
 //
 //	cosmo-serve -addr :8080 &
-//	cosmo-loadgen -target http://localhost:8080 -requests 5000 -workers 8 [-fault-rate 0.1 -fault-seed 1]
+//	cosmo-loadgen -target http://localhost:8080 -requests 5000 -workers 8 [-batch 32] [-fault-rate 0.1 -fault-seed 1]
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -25,6 +33,8 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +62,7 @@ func main() {
 	readyWait := flag.Duration("ready-wait", 30*time.Second, "how long to wait for the server's /readyz")
 	faultRate := flag.Float64("fault-rate", 0, "client-side abort rate [0,1] (cancel requests mid-flight)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic abort sequence")
+	batch := flag.Int("batch", 0, "intent lookups per request: 0 sends GET /intent, N>0 sends POST /batch with N items")
 	flag.Parse()
 	if *workers < 1 {
 		*workers = 1
@@ -59,10 +70,15 @@ func main() {
 	if *requests < 1 {
 		*requests = 1
 	}
+	if *batch < 0 {
+		*batch = 0
+	}
 
 	if err := waitReady(*target, *readyWait); err != nil {
 		log.Fatal(err)
 	}
+
+	mallocsBefore, haveMallocs := scrapeMallocs(*target)
 
 	aborts := faults.NewSequence(*faultSeed, *faultRate)
 	var served, queued, failed, aborted atomic.Int64
@@ -90,8 +106,6 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			client := &http.Client{Timeout: 5 * time.Second}
 			for i := 0; i < n; i++ {
-				// Zipf-ish skew toward the head of the pool.
-				q := queryPool[int(rng.Float64()*rng.Float64()*float64(len(queryPool)))]
 				// Client-side chaos: a seeded fraction of requests is
 				// cancelled mid-flight, like a user abandoning a page.
 				rctx, rcancel := context.WithCancel(context.Background())
@@ -99,8 +113,20 @@ func main() {
 				if abort {
 					rcancel()
 				}
-				req, err := http.NewRequestWithContext(rctx, http.MethodGet,
-					*target+"/intent?q="+url.QueryEscape(q), nil)
+				var req *http.Request
+				var err error
+				if *batch > 0 {
+					req, err = http.NewRequestWithContext(rctx, http.MethodPost,
+						*target+"/batch", bytes.NewReader(batchBody(rng, *batch)))
+					if err == nil {
+						req.Header.Set("Content-Type", "application/json")
+					}
+				} else {
+					// Zipf-ish skew toward the head of the pool.
+					q := queryPool[int(rng.Float64()*rng.Float64()*float64(len(queryPool)))]
+					req, err = http.NewRequestWithContext(rctx, http.MethodGet,
+						*target+"/intent?q="+url.QueryEscape(q), nil)
+				}
 				if err != nil {
 					rcancel()
 					failed.Add(1)
@@ -118,16 +144,29 @@ func main() {
 					}
 					continue
 				}
-				//cosmo:lint-ignore dropped-error best-effort body drain so the connection is reused; latency was already recorded
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close in the load generator; failures surface as request errors
-				switch resp.StatusCode {
-				case http.StatusOK:
-					served.Add(1)
-				case http.StatusAccepted:
-					queued.Add(1)
-				default:
-					failed.Add(1)
+				if *batch > 0 {
+					body, readErr := io.ReadAll(resp.Body)
+					resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close in the load generator; failures surface as request errors
+					if readErr != nil || resp.StatusCode != http.StatusOK {
+						failed.Add(int64(*batch))
+					} else {
+						s, q := countBatchItems(body)
+						served.Add(s)
+						queued.Add(q)
+						failed.Add(int64(*batch) - s - q)
+					}
+				} else {
+					//cosmo:lint-ignore dropped-error best-effort body drain so the connection is reused; latency was already recorded
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close in the load generator; failures surface as request errors
+					switch resp.StatusCode {
+					case http.StatusOK:
+						served.Add(1)
+					case http.StatusAccepted:
+						queued.Add(1)
+					default:
+						failed.Add(1)
+					}
 				}
 				latencies[offset+i] = dt
 				sent[offset+i] = true
@@ -158,11 +197,24 @@ func main() {
 		return latencies[i]
 	}
 	total := served.Load() + queued.Load() + failed.Load() + aborted.Load()
-	fmt.Printf("sent %d requests in %.1fs (%.0f rps, %d workers)\n",
-		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *workers)
+	if *batch > 0 {
+		fmt.Printf("sent %d batch requests x %d lookups in %.1fs (%.0f lookups/s, %d workers)\n",
+			*requests, *batch, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *workers)
+	} else {
+		fmt.Printf("sent %d requests in %.1fs (%.0f rps, %d workers)\n",
+			total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *workers)
+	}
 	fmt.Printf("served from cache: %d (%.1f%%), queued for batch: %d, failed: %d, aborted: %d\n",
 		served.Load(), 100*float64(served.Load())/float64(total), queued.Load(), failed.Load(), aborted.Load())
-	fmt.Printf("client latency: p50=%.1fms p99=%.1fms\n", pct(0.50), pct(0.99))
+	fmt.Printf("client latency: p50=%.1fms p99=%.1fms p999=%.1fms\n", pct(0.50), pct(0.99), pct(0.999))
+
+	// Server-side allocation cost: the delta in cumulative heap mallocs
+	// across the run, per logical lookup. Background work (batch worker,
+	// refresh ticks) is included, so read this as an upper bound.
+	if mallocsAfter, ok := scrapeMallocs(*target); ok && haveMallocs && total > 0 {
+		fmt.Printf("server: %.1f heap allocs per lookup (%d mallocs over %d lookups)\n",
+			float64(mallocsAfter-mallocsBefore)/float64(total), mallocsAfter-mallocsBefore, total)
+	}
 
 	// Server-side view: hit rate, queue depth, bounded-queue drops, and
 	// the fault-tolerance counters (requeues, stale serves, breaker).
@@ -197,6 +249,67 @@ func main() {
 		fmt.Printf(", breaker %s", stats.BreakerState)
 	}
 	fmt.Println()
+}
+
+// batchBody builds a POST /batch payload of n intent lookups drawn
+// from the query pool with the same Zipf-ish skew as single mode.
+func batchBody(rng *rand.Rand, n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		q := queryPool[int(rng.Float64()*rng.Float64()*float64(len(queryPool)))]
+		fmt.Fprintf(&buf, `{"op":"intent","q":%q}`, q)
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
+}
+
+// countBatchItems classifies a /batch response's entries: an entry
+// with "status":"queued" was queued for batch processing, any other
+// non-error entry was served from the cache tiers.
+func countBatchItems(body []byte) (served, queued int64) {
+	var items []json.RawMessage
+	if err := json.Unmarshal(body, &items); err != nil {
+		return 0, 0
+	}
+	for _, it := range items {
+		switch {
+		case bytes.Contains(it, []byte(`"status":"queued"`)):
+			queued++
+		case bytes.HasPrefix(it, []byte(`{"error":`)):
+			// counts as failed via the caller's remainder arithmetic
+		default:
+			served++
+		}
+	}
+	return served, queued
+}
+
+// scrapeMallocs reads cosmo_go_mallocs_total from the server's
+// /metrics endpoint.
+func scrapeMallocs(target string) (uint64, bool) {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, "cosmo_go_mallocs_total "); ok {
+			v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // waitReady polls the server's /readyz until it reports 200, the

@@ -30,11 +30,17 @@
 // Usage:
 //
 //	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
-//	            [-snapshot kg.cosmo]
+//	            [-snapshot kg.cosmo] [-ann-tables 16] [-ann-bits 10]
 //	            [-fault-rate 0.2 -fault-seed 1 -fault-hang-rate 0.05 -fault-panic-rate 0.05]
 //
 // Endpoints: GET /intent?q=..., GET /intentions?id=..., GET /related?id=...,
-// GET /kg, GET /stats, GET /metrics, GET /healthz, GET /readyz.
+// GET /similar?q=..., POST /batch, GET /kg, GET /stats, GET /metrics,
+// GET /healthz, GET /readyz.
+//
+// Alongside each snapshot, an LSH similarity index (kg.SimilarityIndex)
+// is built over the intention labels and swapped in through the same
+// RCU pattern; /similar answers approximate nearest-intention queries
+// against it. -ann-tables and -ann-bits tune the recall/speed shape.
 package main
 
 import (
@@ -73,6 +79,10 @@ func main() {
 	faultPanicRate := flag.Float64("fault-panic-rate", 0, "injected panic rate [0,1]")
 	faultLatencyRate := flag.Float64("fault-latency-rate", 0, "injected latency-spike rate [0,1]")
 	faultLatency := flag.Duration("fault-latency", 50*time.Millisecond, "injected latency-spike duration")
+	annTables := flag.Int("ann-tables", kg.DefaultSimilarityTables, "LSH hash tables for the /similar index")
+	annBits := flag.Int("ann-bits", kg.DefaultSimilarityBits, "LSH signature bits per table for the /similar index")
+	annSeed := flag.Int64("ann-seed", 1, "LSH hyperplane seed")
+	maxBatch := flag.Int("max-batch", serving.DefaultMaxBatchItems, "max items per POST /batch request")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -145,8 +155,18 @@ func main() {
 		DailyCacheCap: 4096,
 		CacheShards:   *shards,
 		QueueCap:      *queueCap,
+		MaxBatchItems: *maxBatch,
 	}, responder)
 	dep.SetKG(snap)
+	annCfg := kg.SimilarityConfig{Tables: *annTables, Bits: *annBits, Seed: *annSeed}
+	buildANN := func(s *kg.Snapshot) {
+		start := time.Now()
+		ix := kg.BuildSimilarityIndex(s, annCfg)
+		dep.SetSimilarity(ix)
+		log.Printf("similarity index: %d intentions indexed in %v (%d tables x %d bits)",
+			ix.NumIndexed(), time.Since(start), ix.Config().Tables, ix.Config().Bits)
+	}
+	buildANN(snap)
 	dep.SetReady(true) // warmup (pipeline + KG install) is complete
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -184,6 +204,11 @@ func main() {
 				}
 				if err := dep.DailyRefreshContext(ctx, responder, next, 2048); err != nil {
 					log.Printf("daily refresh failed (previous model keeps serving): %v", err)
+				} else {
+					// Rebuild the ANN index against whatever snapshot the
+					// refresh committed, keeping /similar and the KG
+					// endpoints answering from the same world.
+					buildANN(dep.KG())
 				}
 			}
 		}

@@ -1,0 +1,80 @@
+package kg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSimilarityLookupSmallIndex: on an index smaller than the
+// candidate floor, multiprobing gathers everything, so Lookup must
+// equal Exact entry for entry — scores included, since both rescore by
+// the same cosine.
+func TestSimilarityLookupSmallIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomGraph(t, rng, 250).Freeze()
+	ix := BuildSimilarityIndex(s, SimilarityConfig{Seed: 3})
+	if ix.NumIndexed() == 0 {
+		t.Fatal("no intentions indexed")
+	}
+	queries := []string{"camping", "winter camping", "office work", "walking the dog", "unrelated gibberish zzz"}
+	for _, q := range queries {
+		for _, k := range []int{1, 3, 50} {
+			exact := ix.Exact(q, k)
+			ann := ix.Lookup(q, k)
+			if !reflect.DeepEqual(exact, ann) {
+				t.Fatalf("Lookup(%q, %d) = %+v, want exact %+v", q, k, ann, exact)
+			}
+		}
+	}
+}
+
+// TestSimilarityEdgeCases pins the degenerate inputs: blank queries
+// (zero embedding) and non-positive k answer empty; defaults resolve.
+func TestSimilarityEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := randomGraph(t, rng, 100).Freeze()
+	ix := BuildSimilarityIndex(s, SimilarityConfig{})
+	cfg := ix.Config()
+	if cfg.Dim != DefaultSimilarityDim || cfg.Tables != DefaultSimilarityTables || cfg.Bits != DefaultSimilarityBits {
+		t.Fatalf("zero config resolved to %+v, want defaults", cfg)
+	}
+	if got := ix.Lookup("", 5); len(got) != 0 {
+		t.Fatalf("blank query returned %d matches", len(got))
+	}
+	if got := ix.Lookup("camping", 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %d matches", len(got))
+	}
+	if got := ix.Exact("", 5); len(got) != 0 {
+		t.Fatalf("blank exact query returned %d matches", len(got))
+	}
+	if got := BuildSimilarityIndex(New().Freeze(), SimilarityConfig{}).Lookup("camping", 5); len(got) != 0 {
+		t.Fatalf("empty index returned %d matches", len(got))
+	}
+}
+
+// TestSimilarityConcurrent exercises the shared index from many
+// goroutines (the serving pattern) so the race detector can see the
+// scratch pool discipline.
+func TestSimilarityConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randomGraph(t, rng, 200).Freeze()
+	ix := BuildSimilarityIndex(s, SimilarityConfig{Seed: 9})
+	queries := []string{"camping", "winter camping", "lakeside camping", "holding snacks", "morning runs"}
+	done := make(chan []SimilarMatch, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			var last []SimilarMatch
+			for i := 0; i < 200; i++ {
+				last = ix.Lookup(queries[i%len(queries)], 5)
+			}
+			done <- last
+		}()
+	}
+	want := ix.Lookup(queries[(200-1)%len(queries)], 5)
+	for w := 0; w < 8; w++ {
+		if got := <-done; !reflect.DeepEqual(got, want) {
+			t.Fatalf("concurrent lookup diverged: %+v vs %+v", got, want)
+		}
+	}
+}

@@ -386,19 +386,53 @@ func (s *Snapshot) IntentionsFor(head string) EdgeSeq {
 	return EdgeSeq{s: s, idx: s.byHead.row(h)}
 }
 
+// IntentionsForBytes is IntentionsFor keyed by a byte-slice head: the
+// batch parser hands ids straight out of the request buffer without
+// materializing strings.
+//
+//cosmo:alloc-free
+func (s *Snapshot) IntentionsForBytes(head []byte) EdgeSeq {
+	h, ok := s.sym[string(head)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+	if !ok {
+		return EdgeSeq{}
+	}
+	return EdgeSeq{s: s, idx: s.byHead.row(h)}
+}
+
+// ContainsBytes reports whether a node with the given byte-slice ID
+// exists, without materializing a string key.
+//
+//cosmo:alloc-free
+func (s *Snapshot) ContainsBytes(id []byte) bool {
+	_, ok := s.sym[string(id)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+	return ok
+}
+
 // relatedScratch is the reusable accumulator for the two-hop
-// RelatedProducts walk: a dense per-node score array plus the touched
-// set and the (candidate, tail) via pairs. Pooled on the snapshot so
-// steady-state walks allocate only their result.
+// RelatedProducts walk: a dense per-node score array, the touched set,
+// the (candidate, tail) via pairs, and the post-walk result — an entry
+// per candidate whose via labels live in the shared arena. Pooled on
+// the snapshot so steady-state walks allocate only what they return
+// (and nothing at all on the RelatedSeq view path).
 type relatedScratch struct {
 	snap  *Snapshot
 	score []float64
 	seen  []int32
 	pairs []viaPair
-	out   []Related // result slice during the final sort; cleared before Put
+	via   []string   // arena of deduped via labels, grouped per entry
+	ents  []relEntry // sorted, truncated result entries
 }
 
 type viaPair struct{ cand, tail int32 }
+
+// relEntry is one result candidate: its symbol, final score, and the
+// half-open [viaStart, viaEnd) range of its labels in the via arena.
+type relEntry struct {
+	cand     int32
+	viaStart int32
+	viaEnd   int32
+	score    float64
+}
 
 // relatedScratch sorts its via pairs per candidate with labels
 // ascending (sort.Interface on the pooled scratch instead of a
@@ -413,38 +447,38 @@ func (sc *relatedScratch) Less(a, b int) bool {
 }
 func (sc *relatedScratch) Swap(a, b int) { sc.pairs[a], sc.pairs[b] = sc.pairs[b], sc.pairs[a] }
 
-// relatedOutSorter is the same pooled scratch viewed as a sorter for
-// the result slice: score descending, then product ID ascending.
-type relatedOutSorter relatedScratch
+// relatedEntSorter is the same pooled scratch viewed as a sorter for
+// the result entries: score descending, then product ID ascending —
+// symbols are assigned in ascending ID order, so the symbol comparison
+// stands in for the string comparison.
+type relatedEntSorter relatedScratch
 
-func (so *relatedOutSorter) Len() int { return len(so.out) }
-func (so *relatedOutSorter) Less(i, j int) bool {
-	if so.out[i].Score != so.out[j].Score {
-		return so.out[i].Score > so.out[j].Score
+func (so *relatedEntSorter) Len() int { return len(so.ents) }
+func (so *relatedEntSorter) Less(i, j int) bool {
+	if so.ents[i].score != so.ents[j].score {
+		return so.ents[i].score > so.ents[j].score
 	}
-	return so.out[i].ProductID < so.out[j].ProductID
+	return so.ents[i].cand < so.ents[j].cand
 }
-func (so *relatedOutSorter) Swap(i, j int) { so.out[i], so.out[j] = so.out[j], so.out[i] }
+func (so *relatedEntSorter) Swap(i, j int) { so.ents[i], so.ents[j] = so.ents[j], so.ents[i] }
 
 // emptyRelated is the canonical empty result, hoisted so the unknown-
 // head path stays allocation-free.
 var emptyRelated = []Related{}
 
-// RelatedProducts walks head → intention → product two-hop paths over
-// interned int IDs and returns up to k products sharing intentions with
-// the head, best first. Semantically identical to Graph.RelatedProducts
-// (bitwise-equal scores, same ordering); the CSR walk takes no locks
-// and builds no maps. The only allocations are the sized result and
-// per-candidate via slices; everything else runs on pooled scratch.
+// relatedCollect runs the two-hop walk for head symbol h entirely on
+// pooled scratch and leaves up to k result entries — with their via
+// labels in the scratch arena — in the returned scratch, sorted best
+// first. The caller owns the scratch until it materializes the entries
+// (RelatedProducts) or releases the view (RelatedSeq.Release); the
+// walk-only fields are reset here, the result fields on release.
 //
 //cosmo:alloc-free
-func (s *Snapshot) RelatedProducts(head string, k int) []Related {
-	h, ok := s.sym[head]
-	if !ok {
-		return emptyRelated
-	}
+func (s *Snapshot) relatedCollect(h int32, k int) *relatedScratch {
 	sc := s.scratch.Get().(*relatedScratch)
 	sc.snap = s
+	sc.via = sc.via[:0]
+	sc.ents = sc.ents[:0]
 	if len(sc.score) < len(s.ids) {
 		sc.score = make([]float64, len(s.ids))
 	}
@@ -470,42 +504,141 @@ func (s *Snapshot) RelatedProducts(head string, k int) []Related {
 	// dedupe below matches the legacy label-set semantics (distinct
 	// tails can share a label).
 	sort.Sort(sc)
-	out := make([]Related, 0, len(sc.seen))
 	for i := 0; i < len(sc.pairs); {
 		c := sc.pairs[i].cand
 		j := i
 		for ; j < len(sc.pairs) && sc.pairs[j].cand == c; j++ {
 		}
-		via := make([]string, 0, j-i)
+		start := sym32(len(sc.via))
 		for p := i; p < j; p++ {
 			lbl := s.labels[sc.pairs[p].tail]
-			if len(via) == 0 || via[len(via)-1] != lbl {
-				via = append(via, lbl)
+			if len(sc.via) == int(start) || sc.via[len(sc.via)-1] != lbl {
+				sc.via = append(sc.via, lbl)
 			}
 		}
-		out = append(out, Related{
-			ProductID: s.ids[c],
-			Label:     s.labels[c],
-			Score:     sc.score[c],
-			Via:       via,
+		sc.ents = append(sc.ents, relEntry{
+			cand:     c,
+			viaStart: start,
+			viaEnd:   sym32(len(sc.via)),
+			score:    sc.score[c],
 		})
 		i = j
 	}
-	sc.out = out
-	sort.Sort((*relatedOutSorter)(sc))
-	if k < len(out) {
-		out = out[:k]
+	sort.Sort((*relatedEntSorter)(sc))
+	if k < len(sc.ents) {
+		sc.ents = sc.ents[:k]
 	}
-	// Reset and recycle the scratch. sc.out must not pin the slice we
-	// return to the caller.
+	// Reset the walk fields now; via and ents carry the result and are
+	// reset when the scratch is released.
 	for _, c := range sc.seen {
 		sc.score[c] = 0
 	}
 	sc.seen = sc.seen[:0]
 	sc.pairs = sc.pairs[:0]
-	sc.out = nil
-	s.scratch.Put(sc)
+	return sc
+}
+
+// release resets the result fields and recycles the scratch.
+func (sc *relatedScratch) release() {
+	sc.via = sc.via[:0]
+	sc.ents = sc.ents[:0]
+	sc.snap.scratch.Put(sc)
+}
+
+// RelatedProducts walks head → intention → product two-hop paths over
+// interned int IDs and returns up to k products sharing intentions with
+// the head, best first. Semantically identical to Graph.RelatedProducts
+// (bitwise-equal scores, same ordering); the CSR walk takes no locks
+// and builds no maps. The only allocations are the sized result and
+// per-candidate via slices; everything else runs on pooled scratch.
+// Callers that can consume the result before the next lookup avoid even
+// those with RelatedSeq.
+//
+//cosmo:alloc-free
+func (s *Snapshot) RelatedProducts(head string, k int) []Related {
+	h, ok := s.sym[head]
+	if !ok {
+		return emptyRelated
+	}
+	sc := s.relatedCollect(h, k)
+	out := make([]Related, 0, len(sc.ents))
+	for _, en := range sc.ents {
+		via := make([]string, 0, en.viaEnd-en.viaStart)
+		via = append(via, sc.via[en.viaStart:en.viaEnd]...)
+		out = append(out, Related{
+			ProductID: s.ids[en.cand],
+			Label:     s.labels[en.cand],
+			Score:     en.score,
+			Via:       via,
+		})
+	}
+	sc.release()
 	return out
+}
+
+// RelatedSeq is a zero-copy view over a pooled RelatedProducts result.
+// At materializes entries against the snapshot's interned strings; the
+// Via slice of a returned Related aliases the pooled arena, so the view
+// (and everything read from it) is valid only until Release. The batch
+// path encodes each item straight out of the view and then releases it,
+// so a whole related lookup touches the heap zero times.
+type RelatedSeq struct {
+	sc *relatedScratch
+}
+
+// RelatedSeq runs the RelatedProducts walk for a byte-slice head
+// (the batch parser hands ids through without materializing strings)
+// and returns the pooled view. The caller must call Release.
+//
+//cosmo:alloc-free
+func (s *Snapshot) RelatedSeq(head []byte, k int) RelatedSeq {
+	h, ok := s.sym[string(head)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+	if !ok {
+		return RelatedSeq{}
+	}
+	return RelatedSeq{sc: s.relatedCollect(h, k)}
+}
+
+// RelatedSeqString is RelatedSeq for a string head (the single-endpoint
+// handler already holds one). The caller must call Release.
+//
+//cosmo:alloc-free
+func (s *Snapshot) RelatedSeqString(head string, k int) RelatedSeq {
+	h, ok := s.sym[head]
+	if !ok {
+		return RelatedSeq{}
+	}
+	return RelatedSeq{sc: s.relatedCollect(h, k)}
+}
+
+// Len returns the number of result entries.
+func (rs RelatedSeq) Len() int {
+	if rs.sc == nil {
+		return 0
+	}
+	return len(rs.sc.ents)
+}
+
+// At materializes the i-th entry. The Via field aliases pooled memory
+// owned by the view; it must not be retained past Release.
+//
+//cosmo:alloc-free
+func (rs RelatedSeq) At(i int) Related {
+	en := rs.sc.ents[i]
+	s := rs.sc.snap
+	return Related{
+		ProductID: s.ids[en.cand],
+		Label:     s.labels[en.cand],
+		Score:     en.score,
+		Via:       rs.sc.via[en.viaStart:en.viaEnd],
+	}
+}
+
+// Release recycles the view's scratch. Safe on the zero view.
+func (rs RelatedSeq) Release() {
+	if rs.sc != nil {
+		rs.sc.release()
+	}
 }
 
 // ComputeStats builds graph statistics from the frozen arrays.

@@ -211,6 +211,102 @@ func TestSnapshotIntentionsForZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestRelatedSeqEquivalence: the pooled zero-copy view answers exactly
+// what RelatedProducts materializes — same entries, same order, same
+// scores, same via labels — and releasing it between lookups keeps the
+// pool coherent.
+func TestRelatedSeqEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 5; trial++ {
+		s := randomGraph(t, rng, 60+rng.Intn(240)).Freeze()
+		for _, n := range s.Nodes() {
+			for _, k := range []int{1, 3, 1 << 20} {
+				want := s.RelatedProducts(n.ID, k)
+				seq := s.RelatedSeq([]byte(n.ID), k)
+				if seq.Len() != len(want) {
+					t.Fatalf("RelatedSeq(%q, %d).Len() = %d, want %d", n.ID, k, seq.Len(), len(want))
+				}
+				for i := range want {
+					got := seq.At(i)
+					if got.ProductID != want[i].ProductID || got.Label != want[i].Label ||
+						got.Score != want[i].Score || !reflect.DeepEqual(got.Via, want[i].Via) {
+						t.Fatalf("RelatedSeq(%q, %d) entry %d = %+v, want %+v", n.ID, k, i, got, want[i])
+					}
+				}
+				seq.Release()
+			}
+		}
+		// Unknown heads yield the zero view; Release on it is a no-op.
+		seq := s.RelatedSeq([]byte("p:NOPE"), 5)
+		if seq.Len() != 0 {
+			t.Fatalf("unknown head has %d related entries", seq.Len())
+		}
+		seq.Release()
+	}
+}
+
+// TestSnapshotBytesLookups: the byte-keyed entry points agree with the
+// string-keyed ones.
+func TestSnapshotBytesLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomGraph(t, rng, 200).Freeze()
+	for _, n := range s.Nodes() {
+		if !s.ContainsBytes([]byte(n.ID)) {
+			t.Fatalf("ContainsBytes(%q) = false for an existing node", n.ID)
+		}
+		want := s.IntentionsFor(n.ID)
+		got := s.IntentionsForBytes([]byte(n.ID))
+		if want.Len() != got.Len() {
+			t.Fatalf("IntentionsForBytes(%q).Len() = %d, want %d", n.ID, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if !reflect.DeepEqual(want.At(i), got.At(i)) {
+				t.Fatalf("IntentionsForBytes(%q) edge %d differs", n.ID, i)
+			}
+		}
+	}
+	if s.ContainsBytes([]byte("p:NOPE")) {
+		t.Fatal("ContainsBytes true for unknown id")
+	}
+	if s.IntentionsForBytes([]byte("p:NOPE")).Len() != 0 {
+		t.Fatal("IntentionsForBytes non-empty for unknown id")
+	}
+}
+
+// TestRelatedSeqZeroAlloc: a full related lookup through the view —
+// walk, sort, iterate, release — touches the heap zero times at steady
+// state. This is the property the /batch path builds on.
+func TestRelatedSeqZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; the alloc guard runs in the regular suite")
+	}
+	rng := rand.New(rand.NewSource(7))
+	s := randomGraph(t, rng, 300).Freeze()
+	var head []byte
+	best := 0
+	for _, n := range s.Nodes() {
+		if l := len(s.RelatedProducts(n.ID, 1<<20)); l > best {
+			best, head = l, []byte(n.ID)
+		}
+	}
+	if best == 0 {
+		t.Fatal("no head with related products")
+	}
+	// Warm the pool so the score array and arenas are sized.
+	s.RelatedSeq(head, 10).Release()
+	allocs := testing.AllocsPerRun(200, func() {
+		seq := s.RelatedSeq(head, 10)
+		for i := 0; i < seq.Len(); i++ {
+			r := seq.At(i)
+			allocSink += r.Score + float64(len(r.Via))
+		}
+		seq.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("RelatedSeq lookup allocates %v per run, want 0", allocs)
+	}
+}
+
 // TestSnapshotIsImmutableView pins the RCU contract: mutations to the
 // source graph after Freeze are invisible to the snapshot.
 func TestSnapshotIsImmutableView(t *testing.T) {

@@ -21,7 +21,10 @@ import (
 // unbounded allocation sites":
 //
 //   - no append without cap evidence in the same function (a 3-arg
-//     make, or an x[:0] reslice of pooled scratch);
+//     make, an x[:0] reslice of pooled scratch, or a slice parameter —
+//     appending to a caller-provided destination and returning it is
+//     the strconv.Append* idiom: the capacity budget lives with the
+//     caller, as internal/wire's encoders rely on);
 //   - no non-constant string concatenation, and no string<->[]byte/
 //     []rune conversions;
 //   - no map or channel make, no map/slice composite literals, no new;
@@ -91,12 +94,26 @@ func isZeroReslice(info *types.Info, e ast.Expr) bool {
 	return ok && v == 0
 }
 
-// collectCapEvidence records, per function body, every expression that
-// the source visibly bounds: assigned from a 3-arg make (explicit cap)
-// or from an x[:0] reslice. append onto one of these is growth within
-// a budget the author stated.
-func collectCapEvidence(info *types.Info, body *ast.BlockStmt) map[string]bool {
+// collectCapEvidence records, per function, every expression that the
+// source visibly bounds: assigned from a 3-arg make (explicit cap),
+// from an x[:0] reslice, or received as a slice parameter (the
+// strconv.Append*-style destination whose capacity the caller owns).
+// append onto one of these is growth within a budget the author stated.
+func collectCapEvidence(info *types.Info, params *ast.FieldList, body *ast.BlockStmt) map[string]bool {
 	capped := map[string]bool{}
+	if params != nil {
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				v, ok := info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					capped[name.Name] = true
+				}
+			}
+		}
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != len(as.Rhs) {
@@ -186,8 +203,8 @@ func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
 
 // checkAllocFreeBody walks one annotated function and reports every
 // construct outside the contract.
-func checkAllocFreeBody(p *Pass, name string, body *ast.BlockStmt) {
-	capped := collectCapEvidence(p.Info, body)
+func checkAllocFreeBody(p *Pass, name string, params *ast.FieldList, body *ast.BlockStmt) {
+	capped := collectCapEvidence(p.Info, params, body)
 	report := func(pos token.Pos, construct string) {
 		p.Reportf(pos, "alloc-free",
 			"%s in %s, which is annotated %s; hoist it, pool it, or drop the annotation",
@@ -246,7 +263,7 @@ func checkAllocFreeCall(p *Pass, call *ast.CallExpr, capped map[string]bool, rep
 		if capped[exprText(dst)] || isZeroReslice(p.Info, dst) {
 			return
 		}
-		report(call.Pos(), "append without cap evidence (no 3-arg make or [:0] reslice of the destination in this function)")
+		report(call.Pos(), "append without cap evidence (no 3-arg make, [:0] reslice, or slice parameter as the destination in this function)")
 		return
 	case "make":
 		if len(call.Args) == 0 {
@@ -339,7 +356,7 @@ func runAllocFree(p *Pass) {
 			if !ok || fd.Body == nil || !hasAllocFreeMarker(fd.Doc) {
 				continue
 			}
-			checkAllocFreeBody(p, fd.Name.Name, fd.Body)
+			checkAllocFreeBody(p, fd.Name.Name, fd.Type.Params, fd.Body)
 		}
 	}
 }

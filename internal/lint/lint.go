@@ -108,6 +108,7 @@ func DefaultConfig() Config {
 		},
 		ServingPaths: []string{
 			"cosmo/internal/serving",
+			"cosmo/internal/wire",
 		},
 		ErrorAllowlist: []string{
 			// Printing to an in-memory or best-effort sink; the error is
@@ -122,6 +123,7 @@ func DefaultConfig() Config {
 		FrozenServingPaths: []string{
 			"cosmo/internal/serving",
 			"cosmo/internal/navigation",
+			"cosmo/internal/wire",
 			"cosmo/cmd/cosmo-serve",
 			"cosmo/cmd/cosmo-kg",
 		},

@@ -42,6 +42,16 @@ func structsAndStatics(xs []point) (point, func() int) {
 	return p, f
 }
 
+// appendStyle appends into a caller-provided destination and returns
+// it — the strconv.Append* idiom. The slice parameter is the cap
+// evidence: the capacity budget lives with the caller.
+//
+//cosmo:alloc-free
+func appendStyle(dst []byte, v byte) []byte {
+	dst = append(dst, '"', v)
+	return append(dst, '"')
+}
+
 func unannotated(s string) string {
 	return s + "!" // not annotated: the check does not apply
 }

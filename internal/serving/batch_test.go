@@ -1,0 +1,416 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cosmo/internal/kg"
+	"cosmo/internal/wire"
+)
+
+// buildTestSimilarity indexes the deployment's current snapshot.
+func buildTestSimilarity(t *testing.T, d *Deployment) *kg.SimilarityIndex {
+	t.Helper()
+	ix := kg.BuildSimilarityIndex(d.KG(), kg.SimilarityConfig{Seed: 1})
+	if ix.NumIndexed() == 0 {
+		t.Fatal("test snapshot indexed no intentions")
+	}
+	return ix
+}
+
+// batchDeployment is a deployment with a snapshot installed, ready for
+// /batch traffic.
+func batchDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	d := NewDeployment(DeployConfig{DailyCacheCap: 8}, echoResponder("v1"))
+	d.SetKG(testSnapshot(t))
+	return d
+}
+
+// runBatch runs a body through AppendBatch and decodes the response.
+func runBatch(t *testing.T, d *Deployment, body string) (status int, items []json.RawMessage) {
+	t.Helper()
+	out, status := d.AppendBatch(nil, []byte(body))
+	if status != http.StatusOK {
+		return status, nil
+	}
+	if err := json.Unmarshal(out, &items); err != nil {
+		t.Fatalf("response %s does not parse: %v", out, err)
+	}
+	return status, items
+}
+
+// TestBatchLookups pins the happy path: each item is answered in order
+// with exactly the bytes the single-lookup endpoint would produce.
+func TestBatchLookups(t *testing.T) {
+	d := batchDeployment(t)
+	snap := d.KG()
+	status, items := runBatch(t, d,
+		`[{"op":"intentions","id":"q:tent","k":1},
+		  {"op":"related","id":"p:P1"},
+		  {"op":"intentions","id":"q:nope"}]`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d items, want 3", len(items))
+	}
+	wants := [][]byte{
+		AppendIntentionsJSON(nil, snap, "q:tent", 1),
+		AppendRelatedJSON(nil, snap, "p:P1", 10),
+		AppendIntentionsJSON(nil, snap, "q:nope", 10),
+	}
+	for i, want := range wants {
+		if !bytes.Equal(items[i], want) {
+			t.Errorf("item %d = %s, want %s", i, items[i], want)
+		}
+	}
+}
+
+// TestBatchIntentOp routes intent items through the cache tiers: a cold
+// query answers queued, a cached one answers the feature.
+func TestBatchIntentOp(t *testing.T) {
+	d := batchDeployment(t)
+	status, items := runBatch(t, d, `[{"op":"intent","q":"camping"}]`)
+	if status != http.StatusOK || len(items) != 1 {
+		t.Fatalf("status=%d items=%d", status, len(items))
+	}
+	var queued struct{ Status, Query string }
+	if err := json.Unmarshal(items[0], &queued); err != nil || queued.Status != "queued" || queued.Query != "camping" {
+		t.Fatalf("cold intent = %s (%v)", items[0], err)
+	}
+
+	d.RunBatch(10) // process the queued miss
+	_, items = runBatch(t, d, `[{"op":"intent","q":"camping"}]`)
+	var f Feature
+	if err := json.Unmarshal(items[0], &f); err != nil || f.Query != "camping" {
+		t.Fatalf("warm intent = %s (%v)", items[0], err)
+	}
+}
+
+// TestBatchPerItemErrors pins error isolation: bad items produce fixed
+// error entries, the rest of the batch is answered normally.
+func TestBatchPerItemErrors(t *testing.T) {
+	d := batchDeployment(t)
+	status, items := runBatch(t, d,
+		`[{"op":"intentions"},
+		  {"id":"q:tent"},
+		  {"op":"warp","id":"q:tent"},
+		  {"op":"intent"},
+		  {"op":"related","id":"p:P1","k":1.5},
+		  {"op":5,"id":"q:tent"},
+		  {"op":"intentions","id":"q:tent","k":1}]`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	wants := []string{
+		`{"error":"missing id"}`,
+		`{"error":"missing op"}`,
+		`{"error":"unknown op"}`,
+		`{"error":"missing q"}`,
+		`{"error":"invalid item"}`,
+		`{"error":"invalid item"}`,
+		"", // real answer, checked below
+	}
+	if len(items) != len(wants) {
+		t.Fatalf("%d items, want %d", len(items), len(wants))
+	}
+	for i, want := range wants[:6] {
+		if string(items[i]) != want {
+			t.Errorf("item %d = %s, want %s", i, items[i], want)
+		}
+	}
+	if want := AppendIntentionsJSON(nil, d.KG(), "q:tent", 1); !bytes.Equal(items[6], want) {
+		t.Errorf("trailing good item = %s, want %s", items[6], want)
+	}
+}
+
+// TestBatchNoKG answers per-item 503-equivalents rather than failing
+// the request when no snapshot is installed.
+func TestBatchNoKG(t *testing.T) {
+	d := NewDeployment(DeployConfig{DailyCacheCap: 8}, echoResponder("v1"))
+	status, items := runBatch(t, d, `[{"op":"intentions","id":"q:tent"}]`)
+	if status != http.StatusOK || string(items[0]) != `{"error":"knowledge graph not loaded"}` {
+		t.Fatalf("status=%d item=%s", status, items[0])
+	}
+}
+
+// TestBatchStructuralErrors pins the whole-request failures: malformed
+// JSON is 400 with the destination buffer unchanged, item overflow is
+// 413.
+func TestBatchStructuralErrors(t *testing.T) {
+	d := batchDeployment(t)
+	bad := []string{
+		``, `{}`, `[`, `[{]`, `[{"op":}]`, `[{"op":"intentions",}]`,
+		`[{"op":"intentions" "id":"x"}]`, `[1, 2`, `[] trailing`,
+		`[{"op":"intentions","id":"q:tent"}] x`,
+		`[{"op":"intentions","id":"unterminated]`,
+		`[{"op":"intentions","id":"q:tent","k":+1}]`,
+		"[{\"op\":\"intentions\",\"id\":\"q\x01tent\"}]",
+	}
+	for _, body := range bad {
+		prefix := []byte("seed")
+		out, status := d.AppendBatch(prefix, []byte(body))
+		if status != http.StatusBadRequest {
+			t.Errorf("AppendBatch(%q) status = %d, want 400", body, status)
+		}
+		if !bytes.Equal(out, prefix) {
+			t.Errorf("AppendBatch(%q) left %q in dst, want untouched prefix", body, out)
+		}
+	}
+
+	small := NewDeployment(DeployConfig{DailyCacheCap: 8, MaxBatchItems: 2}, echoResponder("v1"))
+	small.SetKG(testSnapshot(t))
+	var sb strings.Builder
+	sb.WriteString(`[`)
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"op":"intentions","id":"q:tent"}`)
+	}
+	sb.WriteString(`]`)
+	if _, status := small.AppendBatch(nil, []byte(sb.String())); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("3 items past a 2-item cap = %d, want 413", status)
+	}
+	if status, _ := runBatch(t, small, `[{"op":"intentions","id":"q:tent"},{"op":"kg"}]`); status != http.StatusOK {
+		t.Fatalf("2 items at a 2-item cap = %d, want 200", status)
+	}
+}
+
+// TestBatchParsingEdges pins the parser niceties: escapes resolve
+// before the snapshot lookup, unknown keys are skipped, k is clamped,
+// and an empty batch answers an empty array.
+func TestBatchParsingEdges(t *testing.T) {
+	d := batchDeployment(t)
+
+	status, items := runBatch(t, d, ` [ ] `)
+	if status != http.StatusOK || len(items) != 0 {
+		t.Fatalf("empty batch: status=%d items=%d", status, len(items))
+	}
+
+	// q is 'q': the unescaped id must hit the snapshot.
+	status, items = runBatch(t, d,
+		`[{"op":"intentions","id":"q:tent","k":1,"extra":{"a":[1,true,null,"x"]},"note":"😀"}]`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if want := AppendIntentionsJSON(nil, d.KG(), "q:tent", 1); !bytes.Equal(items[0], want) {
+		t.Errorf("escaped id item = %s, want %s", items[0], want)
+	}
+
+	// k is clamped exactly like the single endpoints: huge values cap at
+	// 1000, non-positive values fall back to the default.
+	for _, body := range []string{
+		`[{"op":"intentions","id":"q:tent","k":999999}]`,
+		`[{"op":"intentions","id":"q:tent","k":-3}]`,
+		`[{"op":"intentions","id":"q:tent","k":0}]`,
+	} {
+		if status, _ := runBatch(t, d, body); status != http.StatusOK {
+			t.Errorf("AppendBatch(%q) status = %d, want 200", body, status)
+		}
+	}
+}
+
+// TestBatchAllocFree pins the tentpole contract: a KG-only batch of M
+// lookups costs a small constant number of allocations independent of
+// M — steady-state zero with warmed pools and a pre-sized destination.
+func TestBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool deliberately drops items under -race")
+	}
+	d := batchDeployment(t)
+	var sb strings.Builder
+	sb.WriteString(`[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		if i%2 == 0 {
+			fmt.Fprintf(&sb, `{"op":"intentions","id":"q:tent","k":%d}`, i%7+1)
+		} else {
+			sb.WriteString(`{"op":"related","id":"p:P1"}`)
+		}
+	}
+	sb.WriteString(`]`)
+	body := []byte(sb.String())
+	dst := make([]byte, 0, 1<<20)
+
+	// Warm the batch and snapshot scratch pools.
+	if _, status := d.AppendBatch(dst, body); status != http.StatusOK {
+		t.Fatalf("warmup status = %d", status)
+	}
+	var sink []byte
+	if n := testing.AllocsPerRun(100, func() {
+		sink, _ = d.AppendBatch(dst, body)
+	}); n != 0 {
+		t.Errorf("64-item KG batch: %.1f allocs/op, want 0", n)
+	}
+	_ = sink
+}
+
+// TestBatchEndpoint exercises POST /batch over HTTP, including the
+// method gate and the body-size cap.
+func TestBatchEndpoint(t *testing.T) {
+	d := batchDeployment(t)
+	srv := httptest.NewServer(NewHTTPHandler(d))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /batch = %d, want 405", resp.StatusCode)
+	}
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	code, body := post(`[{"op":"intentions","id":"q:tent","k":1},{"op":"kg"}]`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /batch = %d: %s", code, body)
+	}
+	if !bytes.HasSuffix(body, []byte("]\n")) {
+		t.Errorf("batch response must end with ]\\n, got %q tail", body[len(body)-2:])
+	}
+	var items []json.RawMessage
+	if err := json.Unmarshal(body, &items); err != nil || len(items) != 2 {
+		t.Fatalf("response %s: %v", body, err)
+	}
+	if string(items[1]) != `{"error":"unknown op"}` {
+		t.Errorf("item 1 = %s", items[1])
+	}
+
+	if code, _ := post(`{"not":"an array"}`); code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", code)
+	}
+
+	huge := strings.Repeat(" ", MaxBatchBodyBytes+1)
+	if code, _ := post(huge); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", code)
+	}
+}
+
+// TestSimilarEndpoint pins /similar: 503 before SetSimilarity, then
+// JSON and binary answers that agree with the index.
+func TestSimilarEndpoint(t *testing.T) {
+	d := batchDeployment(t)
+	srv := httptest.NewServer(NewHTTPHandler(d))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/similar?q=camping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/similar before SetSimilarity = %d, want 503", resp.StatusCode)
+	}
+
+	d.SetSimilarity(buildTestSimilarity(t, d))
+
+	resp, err = http.Get(srv.URL + "/similar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/similar without q = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/similar?q=camping&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/similar = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Q       string
+		Matches []struct {
+			ID, Label string
+			Score     float64
+		}
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Q != "camping" || len(out.Matches) != 1 || out.Matches[0].Label != "camping" {
+		t.Fatalf("similar = %+v", out)
+	}
+	if out.Matches[0].Score <= 0.99 {
+		t.Errorf("self-similarity score = %g, want ~1", out.Matches[0].Score)
+	}
+}
+
+// TestBinaryNegotiation: an Accept header naming the binary content
+// type flips /intentions, /related, /kg and /similar to binary frames.
+func TestBinaryNegotiation(t *testing.T) {
+	d := batchDeployment(t)
+	d.SetSimilarity(buildTestSimilarity(t, d))
+	srv := httptest.NewServer(NewHTTPHandler(d))
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		req.Header.Set("Accept", wire.BinaryContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wire.BinaryContentType {
+			t.Fatalf("GET %s Content-Type = %q", path, ct)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+
+	wantTags := map[string]byte{
+		"/intentions?id=q:tent": wire.BinIntentions,
+		"/related?id=p:P1":      wire.BinRelated,
+		"/kg":                   wire.BinKG,
+		"/similar?q=camping":    wire.BinSimilar,
+	}
+	for path, wantTag := range wantTags {
+		b := get(path)
+		r := wire.NewBinReader(b)
+		version, tag, err := r.ReadHeader()
+		if err != nil || version != wire.BinaryVersion || tag != wantTag {
+			t.Errorf("GET %s header = (%d, %d, %v), want tag %d", path, version, tag, err, wantTag)
+		}
+	}
+
+	// The /kg binary frame must agree with the JSON numbers.
+	b := get("/kg")
+	r := wire.NewBinReader(b)
+	if _, _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _ := r.ReadUvarint()
+	if int(nodes) != d.KG().NumNodes() {
+		t.Errorf("binary /kg nodes = %d, want %d", nodes, d.KG().NumNodes())
+	}
+}

@@ -84,6 +84,14 @@ type Deployment struct {
 	// swaps in a fresh snapshot RCU-style — in-flight requests keep
 	// reading the old one until they finish, and the swap never blocks.
 	kgSnap atomic.Pointer[kg.Snapshot]
+
+	// simIdx is the ANN retrieval path (/similar): an immutable LSH
+	// index over the snapshot's intention embeddings, swapped RCU-style
+	// alongside the snapshot it was built from.
+	simIdx atomic.Pointer[kg.SimilarityIndex]
+
+	// maxBatchItems bounds one POST /batch request (DeployConfig).
+	maxBatchItems int
 }
 
 // DeployConfig configures a deployment.
@@ -98,6 +106,9 @@ type DeployConfig struct {
 	// when 0, unlimited when negative). Insertions past the cap evict
 	// the oldest-inserted feature.
 	FeatureStoreCap int
+	// MaxBatchItems bounds one POST /batch request
+	// (DefaultMaxBatchItems when 0).
+	MaxBatchItems int
 }
 
 // NewDeployment builds a deployment around the initial model, adapting
@@ -117,17 +128,21 @@ func NewDeploymentContext(cfg DeployConfig, responder ContextResponder) *Deploym
 	} else if cfg.FeatureStoreCap < 0 {
 		cfg.FeatureStoreCap = 0 // explicit opt-out: unlimited
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
+	}
 	d := &Deployment{
 		Cache: NewAsyncCacheWithConfig(CacheConfig{
 			DailyCap: cfg.DailyCacheCap,
 			Shards:   cfg.CacheShards,
 			QueueCap: cfg.QueueCap,
 		}),
-		Store:        NewFeatureStoreWithCap(cfg.FeatureStoreCap),
-		Clock:        RealClock{},
-		responder:    responder,
-		latency:      NewHistogram(nil),
-		interactions: newStripedCounter(interactionStripes),
+		Store:         NewFeatureStoreWithCap(cfg.FeatureStoreCap),
+		Clock:         RealClock{},
+		responder:     responder,
+		latency:       NewHistogram(nil),
+		interactions:  newStripedCounter(interactionStripes),
+		maxBatchItems: cfg.MaxBatchItems,
 	}
 	d.version.Store(1)
 	return d
@@ -148,6 +163,23 @@ func (d *Deployment) SetKG(s *kg.Snapshot) {
 // even across a concurrent DailyRefresh swap.
 func (d *Deployment) KG() *kg.Snapshot {
 	return d.kgSnap.Load()
+}
+
+// SetSimilarity installs the ANN index backing /similar (lock-free
+// atomic store; nil is ignored, mirroring SetKG, so a refresh without a
+// rebuilt index keeps serving the current one). Callers pair the index
+// with the snapshot it was built from: SetKG then SetSimilarity.
+func (d *Deployment) SetSimilarity(ix *kg.SimilarityIndex) {
+	if ix != nil {
+		d.simIdx.Store(ix)
+	}
+}
+
+// Similarity returns the current ANN index (nil until SetSimilarity
+// installs one). Like the snapshot it is immutable and safe to query
+// without coordination across a concurrent swap.
+func (d *Deployment) Similarity() *kg.SimilarityIndex {
+	return d.simIdx.Load()
 }
 
 // SetReady marks warmup complete (or revokes readiness); /readyz

@@ -1,0 +1,289 @@
+package serving
+
+import (
+	"cosmo/internal/kg"
+	"cosmo/internal/wire"
+)
+
+// This file holds the hand-rolled response encoders for the hot serving
+// endpoints. Each JSON encoder appends into a caller-provided buffer
+// (pooled via wire.Get/Put in the handlers) and is byte-identical to
+// what encoding/json produced for the same response value — map keys in
+// sorted order, struct fields in declaration order, nil slices as null
+// — which encode_test.go pins with the stdlib as the oracle. The
+// handlers append the trailing '\n' themselves, matching
+// json.Encoder.Encode.
+//
+// The Bin variants emit the compact binary frames documented in
+// internal/wire/binary.go, negotiated by the handlers via the Accept
+// header.
+
+// AppendQueuedJSON appends the 202 queued-response body for query q:
+// {"query":q,"status":"queued"}.
+//
+//cosmo:alloc-free
+func AppendQueuedJSON(dst []byte, q string) []byte {
+	dst = append(dst, `{"query":`...)
+	dst = wire.AppendString(dst, q)
+	return append(dst, `,"status":"queued"}`...)
+}
+
+// AppendQueuedJSONBytes is AppendQueuedJSON for a query still in the
+// batch parser's byte arena.
+//
+//cosmo:alloc-free
+func AppendQueuedJSONBytes(dst []byte, q []byte) []byte {
+	dst = append(dst, `{"query":`...)
+	dst = wire.AppendStringBytes(dst, q)
+	return append(dst, `,"status":"queued"}`...)
+}
+
+// AppendFeatureJSON appends a Feature exactly as encoding/json encodes
+// the untagged struct: Go field names in declaration order.
+//
+//cosmo:alloc-free
+func AppendFeatureJSON(dst []byte, f *Feature) []byte {
+	dst = append(dst, `{"Query":`...)
+	dst = wire.AppendString(dst, f.Query)
+	dst = append(dst, `,"Intents":`...)
+	dst = appendStringSliceJSON(dst, f.Intents)
+	dst = append(dst, `,"Relations":`...)
+	dst = appendStringSliceJSON(dst, f.Relations)
+	dst = append(dst, `,"SubCategory":`...)
+	dst = wire.AppendString(dst, f.SubCategory)
+	dst = append(dst, `,"StrongIntent":`...)
+	dst = wire.AppendBool(dst, f.StrongIntent)
+	dst = append(dst, `,"Version":`...)
+	dst = wire.AppendInt(dst, int64(f.Version))
+	dst = append(dst, `,"CreatedAt":`...)
+	dst = wire.AppendTime(dst, f.CreatedAt)
+	dst = append(dst, `,"Stale":`...)
+	dst = wire.AppendBool(dst, f.Stale)
+	return append(dst, '}')
+}
+
+// appendStringSliceJSON matches encoding/json's slice form: nil
+// encodes as null, empty-but-non-nil as [].
+//
+//cosmo:alloc-free
+func appendStringSliceJSON(dst []byte, ss []string) []byte {
+	if ss == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = wire.AppendString(dst, s)
+	}
+	return append(dst, ']')
+}
+
+// AppendIntentionsJSON appends the /intentions response for a node:
+// {"id":id,"intentions":[{"relation":...,"intention":...,
+// "plausible":...,"typical":...,"support":...},...]}.
+//
+//cosmo:alloc-free
+func AppendIntentionsJSON(dst []byte, snap *kg.Snapshot, id string, k int) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = wire.AppendString(dst, id)
+	return appendIntentionsTail(dst, snap, snap.IntentionsFor(id), k)
+}
+
+// AppendIntentionsJSONBytes is AppendIntentionsJSON for an id still in
+// the batch parser's byte arena.
+//
+//cosmo:alloc-free
+func AppendIntentionsJSONBytes(dst []byte, snap *kg.Snapshot, id []byte, k int) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = wire.AppendStringBytes(dst, id)
+	return appendIntentionsTail(dst, snap, snap.IntentionsForBytes(id), k)
+}
+
+//cosmo:alloc-free
+func appendIntentionsTail(dst []byte, snap *kg.Snapshot, seq kg.EdgeSeq, k int) []byte {
+	dst = append(dst, `,"intentions":[`...)
+	n := seq.Len()
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		e := seq.At(i)
+		tail, _ := snap.Node(e.Tail)
+		dst = append(dst, `{"relation":`...)
+		dst = wire.AppendString(dst, string(e.Relation))
+		dst = append(dst, `,"intention":`...)
+		dst = wire.AppendString(dst, tail.Label)
+		dst = append(dst, `,"plausible":`...)
+		dst = wire.AppendFloat(dst, e.PlausibleScore)
+		dst = append(dst, `,"typical":`...)
+		dst = wire.AppendFloat(dst, e.TypicalScore)
+		dst = append(dst, `,"support":`...)
+		dst = wire.AppendInt(dst, int64(e.Support))
+		dst = append(dst, '}')
+	}
+	return append(dst, "]}"...)
+}
+
+// AppendRelatedJSON appends the /related response for a node:
+// {"id":id,"related":[{"ProductID":...,"Label":...,"Score":...,
+// "Via":[...]},...]} (untagged kg.Related fields, declaration order).
+//
+//cosmo:alloc-free
+func AppendRelatedJSON(dst []byte, snap *kg.Snapshot, id string, k int) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = wire.AppendString(dst, id)
+	seq := snap.RelatedSeqString(id, k)
+	dst = appendRelatedTail(dst, seq)
+	seq.Release()
+	return dst
+}
+
+// AppendRelatedJSONBytes is AppendRelatedJSON for an id still in the
+// batch parser's byte arena.
+//
+//cosmo:alloc-free
+func AppendRelatedJSONBytes(dst []byte, snap *kg.Snapshot, id []byte, k int) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = wire.AppendStringBytes(dst, id)
+	seq := snap.RelatedSeq(id, k)
+	dst = appendRelatedTail(dst, seq)
+	seq.Release()
+	return dst
+}
+
+//cosmo:alloc-free
+func appendRelatedTail(dst []byte, seq kg.RelatedSeq) []byte {
+	dst = append(dst, `,"related":[`...)
+	for i := 0; i < seq.Len(); i++ {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		r := seq.At(i)
+		dst = append(dst, `{"ProductID":`...)
+		dst = wire.AppendString(dst, r.ProductID)
+		dst = append(dst, `,"Label":`...)
+		dst = wire.AppendString(dst, r.Label)
+		dst = append(dst, `,"Score":`...)
+		dst = wire.AppendFloat(dst, r.Score)
+		dst = append(dst, `,"Via":`...)
+		dst = appendStringSliceJSON(dst, r.Via)
+		dst = append(dst, '}')
+	}
+	return append(dst, "]}"...)
+}
+
+// AppendKGJSON appends the /kg summary:
+// {"edges":E,"nodes":N,"relations":R} (sorted keys, matching the
+// stdlib's map encoding).
+//
+//cosmo:alloc-free
+func AppendKGJSON(dst []byte, snap *kg.Snapshot) []byte {
+	dst = append(dst, `{"edges":`...)
+	dst = wire.AppendInt(dst, int64(snap.NumEdges()))
+	dst = append(dst, `,"nodes":`...)
+	dst = wire.AppendInt(dst, int64(snap.NumNodes()))
+	dst = append(dst, `,"relations":`...)
+	dst = wire.AppendInt(dst, int64(snap.NumRelations()))
+	return append(dst, '}')
+}
+
+// AppendSimilarJSON appends the /similar response:
+// {"matches":[{"ID":...,"Label":...,"Score":...},...],"q":q}
+// (sorted keys; untagged kg.SimilarMatch fields, declaration order).
+//
+//cosmo:alloc-free
+func AppendSimilarJSON(dst []byte, q string, matches []kg.SimilarMatch) []byte {
+	dst = append(dst, `{"matches":[`...)
+	for i := range matches {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"ID":`...)
+		dst = wire.AppendString(dst, matches[i].ID)
+		dst = append(dst, `,"Label":`...)
+		dst = wire.AppendString(dst, matches[i].Label)
+		dst = append(dst, `,"Score":`...)
+		dst = wire.AppendFloat(dst, matches[i].Score)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `],"q":`...)
+	dst = wire.AppendString(dst, q)
+	return append(dst, '}')
+}
+
+// AppendIntentionsBin appends the BinIntentions frame (see
+// internal/wire/binary.go for the field order).
+//
+//cosmo:alloc-free
+func AppendIntentionsBin(dst []byte, snap *kg.Snapshot, id string, k int) []byte {
+	dst = wire.AppendBinHeader(dst, wire.BinIntentions)
+	dst = wire.AppendBinString(dst, id)
+	seq := snap.IntentionsFor(id)
+	n := seq.Len()
+	if n > k {
+		n = k
+	}
+	dst = wire.AppendBinUvarint(dst, uint64(n)) //cosmo:lint-ignore unchecked-narrowing n is a non-negative slice length
+	for i := 0; i < n; i++ {
+		e := seq.At(i)
+		tail, _ := snap.Node(e.Tail)
+		dst = wire.AppendBinString(dst, string(e.Relation))
+		dst = wire.AppendBinString(dst, tail.Label)
+		dst = wire.AppendBinFloat(dst, e.PlausibleScore)
+		dst = wire.AppendBinFloat(dst, e.TypicalScore)
+		dst = wire.AppendBinUvarint(dst, uint64(e.Support)) //cosmo:lint-ignore unchecked-narrowing Support is a non-negative edge count
+	}
+	return dst
+}
+
+// AppendRelatedBin appends the BinRelated frame.
+//
+//cosmo:alloc-free
+func AppendRelatedBin(dst []byte, snap *kg.Snapshot, id string, k int) []byte {
+	dst = wire.AppendBinHeader(dst, wire.BinRelated)
+	dst = wire.AppendBinString(dst, id)
+	seq := snap.RelatedSeqString(id, k)
+	dst = wire.AppendBinUvarint(dst, uint64(seq.Len())) //cosmo:lint-ignore unchecked-narrowing Len is a non-negative slice length
+	for i := 0; i < seq.Len(); i++ {
+		r := seq.At(i)
+		dst = wire.AppendBinString(dst, r.ProductID)
+		dst = wire.AppendBinString(dst, r.Label)
+		dst = wire.AppendBinFloat(dst, r.Score)
+		dst = wire.AppendBinUvarint(dst, uint64(len(r.Via))) //cosmo:lint-ignore unchecked-narrowing len is non-negative
+		for _, v := range r.Via {
+			dst = wire.AppendBinString(dst, v)
+		}
+	}
+	seq.Release()
+	return dst
+}
+
+// AppendKGBin appends the BinKG frame.
+//
+//cosmo:alloc-free
+func AppendKGBin(dst []byte, snap *kg.Snapshot) []byte {
+	dst = wire.AppendBinHeader(dst, wire.BinKG)
+	dst = wire.AppendBinUvarint(dst, uint64(snap.NumNodes())) //cosmo:lint-ignore unchecked-narrowing node count is non-negative
+	dst = wire.AppendBinUvarint(dst, uint64(snap.NumEdges())) //cosmo:lint-ignore unchecked-narrowing edge count is non-negative
+	return wire.AppendBinUvarint(dst, uint64(snap.NumRelations())) //cosmo:lint-ignore unchecked-narrowing relation count is non-negative
+}
+
+// AppendSimilarBin appends the BinSimilar frame.
+//
+//cosmo:alloc-free
+func AppendSimilarBin(dst []byte, q string, matches []kg.SimilarMatch) []byte {
+	dst = wire.AppendBinHeader(dst, wire.BinSimilar)
+	dst = wire.AppendBinString(dst, q)
+	dst = wire.AppendBinUvarint(dst, uint64(len(matches))) //cosmo:lint-ignore unchecked-narrowing len is non-negative
+	for i := range matches {
+		dst = wire.AppendBinString(dst, matches[i].ID)
+		dst = wire.AppendBinString(dst, matches[i].Label)
+		dst = wire.AppendBinFloat(dst, matches[i].Score)
+	}
+	return dst
+}

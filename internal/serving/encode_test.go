@@ -1,0 +1,286 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"cosmo/internal/kg"
+	"cosmo/internal/wire"
+)
+
+// stdlibJSON is the oracle: what the handlers used to send, minus the
+// trailing newline (the handlers append it themselves).
+func stdlibJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+}
+
+// handlerIntention mirrors the inline response struct the /intentions
+// handler used before the hand-rolled encoder.
+type handlerIntention struct {
+	Relation  string  `json:"relation"`
+	Intention string  `json:"intention"`
+	Plausible float64 `json:"plausible"`
+	Typical   float64 `json:"typical"`
+	Support   int     `json:"support"`
+}
+
+// legacyIntentions rebuilds the pre-encoder /intentions response value.
+func legacyIntentions(snap *kg.Snapshot, id string, k int) map[string]any {
+	seq := snap.IntentionsFor(id)
+	n := seq.Len()
+	if n > k {
+		n = k
+	}
+	out := make([]handlerIntention, n)
+	for i := 0; i < n; i++ {
+		e := seq.At(i)
+		tail, _ := snap.Node(e.Tail)
+		out[i] = handlerIntention{
+			Relation:  string(e.Relation),
+			Intention: tail.Label,
+			Plausible: e.PlausibleScore,
+			Typical:   e.TypicalScore,
+			Support:   e.Support,
+		}
+	}
+	return map[string]any{"id": id, "intentions": out}
+}
+
+// TestEncodersGolden pins every hand-rolled response encoder to the
+// stdlib bytes it replaced, over the real snapshot shapes.
+func TestEncodersGolden(t *testing.T) {
+	snap := testSnapshot(t)
+
+	t.Run("queued", func(t *testing.T) {
+		for _, q := range []string{"tent", "", `quo"te <&> \`, "snow man \xff"} {
+			want := stdlibJSON(t, map[string]string{"status": "queued", "query": q})
+			got := AppendQueuedJSON(nil, q)
+			if !bytes.Equal(got, want) {
+				t.Errorf("AppendQueuedJSON(%q):\n got %s\nwant %s", q, got, want)
+			}
+			if got2 := AppendQueuedJSONBytes(nil, []byte(q)); !bytes.Equal(got2, want) {
+				t.Errorf("AppendQueuedJSONBytes(%q):\n got %s\nwant %s", q, got2, want)
+			}
+		}
+	})
+
+	t.Run("feature", func(t *testing.T) {
+		features := []Feature{
+			{},
+			{
+				Query:        "tent",
+				Intents:      []string{"used for camping", "v1"},
+				Relations:    []string{"USED_FOR_FUNC"},
+				SubCategory:  "tent",
+				StrongIntent: true,
+				Version:      3,
+				CreatedAt:    time.Date(2026, 8, 8, 11, 30, 0, 123456789, time.UTC),
+			},
+			{Query: "<html&>", Intents: []string{}, Relations: nil, Stale: true,
+				CreatedAt: time.Date(2024, 1, 2, 3, 4, 5, 0, time.FixedZone("X", 3600))},
+		}
+		for _, f := range features {
+			want := stdlibJSON(t, f)
+			got := AppendFeatureJSON(nil, &f)
+			if !bytes.Equal(got, want) {
+				t.Errorf("AppendFeatureJSON(%+v):\n got %s\nwant %s", f, got, want)
+			}
+		}
+	})
+
+	t.Run("intentions", func(t *testing.T) {
+		for _, id := range []string{"q:tent", "p:P1", "q:nope", `quo"te`} {
+			for _, k := range []int{1, 2, 10} {
+				want := stdlibJSON(t, legacyIntentions(snap, id, k))
+				got := AppendIntentionsJSON(nil, snap, id, k)
+				if !bytes.Equal(got, want) {
+					t.Errorf("AppendIntentionsJSON(%q, %d):\n got %s\nwant %s", id, k, got, want)
+				}
+				if got2 := AppendIntentionsJSONBytes(nil, snap, []byte(id), k); !bytes.Equal(got2, want) {
+					t.Errorf("AppendIntentionsJSONBytes(%q, %d):\n got %s\nwant %s", id, k, got2, want)
+				}
+			}
+		}
+	})
+
+	t.Run("related", func(t *testing.T) {
+		for _, id := range []string{"p:P1", "p:P2", "q:tent", "p:nope"} {
+			for _, k := range []int{1, 10} {
+				want := stdlibJSON(t, map[string]any{"id": id, "related": snap.RelatedProducts(id, k)})
+				got := AppendRelatedJSON(nil, snap, id, k)
+				if !bytes.Equal(got, want) {
+					t.Errorf("AppendRelatedJSON(%q, %d):\n got %s\nwant %s", id, k, got, want)
+				}
+				if got2 := AppendRelatedJSONBytes(nil, snap, []byte(id), k); !bytes.Equal(got2, want) {
+					t.Errorf("AppendRelatedJSONBytes(%q, %d):\n got %s\nwant %s", id, k, got2, want)
+				}
+			}
+		}
+	})
+
+	t.Run("kg", func(t *testing.T) {
+		want := stdlibJSON(t, map[string]any{
+			"nodes":     snap.NumNodes(),
+			"edges":     snap.NumEdges(),
+			"relations": snap.NumRelations(),
+		})
+		if got := AppendKGJSON(nil, snap); !bytes.Equal(got, want) {
+			t.Errorf("AppendKGJSON:\n got %s\nwant %s", got, want)
+		}
+	})
+
+	t.Run("similar", func(t *testing.T) {
+		cases := [][]kg.SimilarMatch{
+			{},
+			{{ID: "i:a", Label: "camping", Score: 0.9375}, {ID: "i:b", Label: "sh<a>de", Score: math.Sqrt(2) / 3}},
+		}
+		for _, matches := range cases {
+			want := stdlibJSON(t, map[string]any{"q": "te nt", "matches": matches})
+			if got := AppendSimilarJSON(nil, "te nt", matches); !bytes.Equal(got, want) {
+				t.Errorf("AppendSimilarJSON:\n got %s\nwant %s", got, want)
+			}
+		}
+	})
+}
+
+// TestBinaryEncodersRoundTrip decodes every binary frame with BinReader
+// and checks it carries exactly what the JSON response carries.
+func TestBinaryEncodersRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+
+	t.Run("intentions", func(t *testing.T) {
+		b := AppendIntentionsBin(nil, snap, "q:tent", 10)
+		r := wire.NewBinReader(b)
+		version, tag, err := r.ReadHeader()
+		if err != nil || version != wire.BinaryVersion || tag != wire.BinIntentions {
+			t.Fatalf("header = (%d, %d, %v)", version, tag, err)
+		}
+		id, _ := r.ReadString()
+		count, _ := r.ReadUvarint()
+		if id != "q:tent" || count != 2 {
+			t.Fatalf("id=%q count=%d", id, count)
+		}
+		rel, _ := r.ReadString()
+		intent, _ := r.ReadString()
+		plausible, _ := r.ReadFloat()
+		typical, _ := r.ReadFloat()
+		support, err := r.ReadUvarint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if intent != "camping" || plausible != 0.9 || typical != 0.9 || support != 3 || rel == "" {
+			t.Fatalf("first edge = %q %q %g %g %d", rel, intent, plausible, typical, support)
+		}
+	})
+
+	t.Run("related", func(t *testing.T) {
+		b := AppendRelatedBin(nil, snap, "p:P1", 10)
+		r := wire.NewBinReader(b)
+		_, tag, err := r.ReadHeader()
+		if err != nil || tag != wire.BinRelated {
+			t.Fatalf("header tag = %d, %v", tag, err)
+		}
+		id, _ := r.ReadString()
+		count, _ := r.ReadUvarint()
+		if id != "p:P1" || count != 1 {
+			t.Fatalf("id=%q count=%d", id, count)
+		}
+		want := snap.RelatedProducts("p:P1", 10)[0]
+		pid, _ := r.ReadString()
+		label, _ := r.ReadString()
+		score, _ := r.ReadFloat()
+		viaCount, _ := r.ReadUvarint()
+		if pid != want.ProductID || label != want.Label || score != want.Score || int(viaCount) != len(want.Via) {
+			t.Fatalf("got %q %q %g %d, want %+v", pid, label, score, viaCount, want)
+		}
+		for _, v := range want.Via {
+			got, err := r.ReadString()
+			if err != nil || got != v {
+				t.Fatalf("via = %q, %v, want %q", got, err, v)
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left over", r.Remaining())
+		}
+	})
+
+	t.Run("kg", func(t *testing.T) {
+		b := AppendKGBin(nil, snap)
+		r := wire.NewBinReader(b)
+		_, tag, err := r.ReadHeader()
+		if err != nil || tag != wire.BinKG {
+			t.Fatalf("header tag = %d, %v", tag, err)
+		}
+		nodes, _ := r.ReadUvarint()
+		edges, _ := r.ReadUvarint()
+		rels, _ := r.ReadUvarint()
+		if int(nodes) != snap.NumNodes() || int(edges) != snap.NumEdges() || int(rels) != snap.NumRelations() {
+			t.Fatalf("got %d/%d/%d", nodes, edges, rels)
+		}
+	})
+
+	t.Run("similar", func(t *testing.T) {
+		matches := []kg.SimilarMatch{{ID: "i:a", Label: "camping", Score: 0.5}}
+		b := AppendSimilarBin(nil, "tent", matches)
+		r := wire.NewBinReader(b)
+		_, tag, err := r.ReadHeader()
+		if err != nil || tag != wire.BinSimilar {
+			t.Fatalf("header tag = %d, %v", tag, err)
+		}
+		q, _ := r.ReadString()
+		count, _ := r.ReadUvarint()
+		id, _ := r.ReadString()
+		label, _ := r.ReadString()
+		score, err := r.ReadFloat()
+		if err != nil || q != "tent" || count != 1 || id != "i:a" || label != "camping" || score != 0.5 {
+			t.Fatalf("decoded %q %d %q %q %g (%v)", q, count, id, label, score, err)
+		}
+	})
+}
+
+// TestEncodersAllocFree pins the steady-state allocation contract of
+// the hot encoders: with a pre-sized destination, encoding a response
+// allocates nothing. Skipped under -race (sync.Pool drops items there).
+func TestEncodersAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool deliberately drops items under -race")
+	}
+	snap := testSnapshot(t)
+	f := Feature{
+		Query: "tent", Intents: []string{"camping"}, Relations: []string{"USED_FOR_FUNC"},
+		SubCategory: "tent", Version: 2, CreatedAt: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC),
+	}
+	id := []byte("p:P1")
+	dst := make([]byte, 0, 1<<16)
+	var sink []byte
+
+	// Warm the snapshot's scratch pool.
+	sink = AppendRelatedJSONBytes(dst, snap, id, 10)
+
+	cases := []struct {
+		name string
+		fn   func() []byte
+	}{
+		{"queued", func() []byte { return AppendQueuedJSON(dst, "tent") }},
+		{"feature", func() []byte { return AppendFeatureJSON(dst, &f) }},
+		{"intentions", func() []byte { return AppendIntentionsJSONBytes(dst, snap, id, 10) }},
+		{"related", func() []byte { return AppendRelatedJSONBytes(dst, snap, id, 10) }},
+		{"kg", func() []byte { return AppendKGJSON(dst, snap) }},
+		{"intentions-bin", func() []byte { return AppendIntentionsBin(dst, snap, "q:tent", 10) }},
+		{"related-bin", func() []byte { return AppendRelatedBin(dst, snap, "p:P1", 10) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, func() { sink = tc.fn() }); n != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, n)
+		}
+	}
+	_ = sink
+}

@@ -2,28 +2,47 @@ package serving
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
+
+	"cosmo/internal/wire"
 )
 
 // NewHTTPHandler exposes a deployment over HTTP:
 //
-//	GET /intent?q=<query>      -> structured intent feature (200) or 202
-//	                              when queued for batch processing
-//	GET /intentions?id=<node>  -> KG intentions for a node, best first
-//	                              (frozen-snapshot read, no locks)
-//	GET /related?id=<node>     -> products sharing intentions with the
-//	                              node (two-hop frozen-snapshot walk)
-//	GET /kg                    -> snapshot size summary (JSON)
-//	GET /stats                 -> cache and latency statistics (JSON)
-//	GET /metrics               -> Prometheus-style plaintext metrics
-//	GET /healthz               -> liveness (the process is up)
-//	GET /readyz                -> readiness: 503 until warmup completes
-//	                              (SetReady) and again while the
-//	                              responder circuit breaker is open
+//	GET  /intent?q=<query>      -> structured intent feature (200) or 202
+//	                               when queued for batch processing
+//	GET  /intentions?id=<node>  -> KG intentions for a node, best first
+//	                               (frozen-snapshot read, no locks)
+//	GET  /related?id=<node>     -> products sharing intentions with the
+//	                               node (two-hop frozen-snapshot walk)
+//	GET  /similar?q=<text>      -> intentions similar to free text via
+//	                               the LSH ANN index (503 until
+//	                               SetSimilarity installs one)
+//	POST /batch                 -> JSON array of lookups answered in one
+//	                               round trip (see AppendBatch)
+//	GET  /kg                    -> snapshot size summary (JSON)
+//	GET  /stats                 -> cache and latency statistics (JSON)
+//	GET  /metrics               -> Prometheus-style plaintext metrics
+//	GET  /healthz               -> liveness (the process is up)
+//	GET  /readyz                -> readiness: 503 until warmup completes
+//	                               (SetReady) and again while the
+//	                               responder circuit breaker is open
 //
 // The KG endpoints answer 503 until SetKG installs a snapshot.
+//
+// Hot responses are encoded by the hand-rolled appenders in encode.go
+// into pooled buffers (wire.Get/Put) — byte-identical to the
+// encoding/json output they replaced, including the trailing newline —
+// so the steady-state request path allocates nothing for encoding. The
+// KG read endpoints (/intentions, /related, /kg, /similar) also answer
+// in the compact binary frame format (internal/wire/binary.go) when the
+// Accept header asks for wire.BinaryContentType.
 func NewHTTPHandler(d *Deployment) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/intent", func(w http.ResponseWriter, r *http.Request) {
@@ -34,16 +53,16 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		}
 		f, ok := d.HandleQuery(q)
 		w.Header().Set("Content-Type", "application/json")
+		buf := wire.Get()
 		if !ok {
 			w.WriteHeader(http.StatusAccepted)
-			//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
-			_ = json.NewEncoder(w).Encode(map[string]string{
-				"status": "queued",
-				"query":  q,
-			})
-			return
+			buf.B = AppendQueuedJSON(buf.B[:0], q)
+		} else {
+			buf.B = AppendFeatureJSON(buf.B[:0], &f)
 		}
-		_ = json.NewEncoder(w).Encode(f) //cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
+		buf.B = append(buf.B, '\n')
+		_, _ = w.Write(buf.B) //cosmo:lint-ignore dropped-error best-effort response write; a write failure means the client is gone
+		wire.Put(buf)
 	})
 	mux.HandleFunc("/intentions", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")
@@ -57,33 +76,17 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			return
 		}
 		k := parseK(r.URL.Query().Get("k"), 10)
-		seq := snap.IntentionsFor(id)
-		type intention struct {
-			Relation  string  `json:"relation"`
-			Intention string  `json:"intention"`
-			Plausible float64 `json:"plausible"`
-			Typical   float64 `json:"typical"`
-			Support   int     `json:"support"`
+		buf := wire.Get()
+		if wantsBinary(r) {
+			w.Header().Set("Content-Type", wire.BinaryContentType)
+			buf.B = AppendIntentionsBin(buf.B[:0], snap, id, k)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			buf.B = AppendIntentionsJSON(buf.B[:0], snap, id, k)
+			buf.B = append(buf.B, '\n')
 		}
-		n := seq.Len()
-		if n > k {
-			n = k
-		}
-		out := make([]intention, n)
-		for i := 0; i < n; i++ {
-			e := seq.At(i)
-			tail, _ := snap.Node(e.Tail)
-			out[i] = intention{
-				Relation:  string(e.Relation),
-				Intention: tail.Label,
-				Plausible: e.PlausibleScore,
-				Typical:   e.TypicalScore,
-				Support:   e.Support,
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
-		_ = json.NewEncoder(w).Encode(map[string]any{"id": id, "intentions": out})
+		_, _ = w.Write(buf.B) //cosmo:lint-ignore dropped-error best-effort response write; a write failure means the client is gone
+		wire.Put(buf)
 	})
 	mux.HandleFunc("/related", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")
@@ -97,12 +100,79 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			return
 		}
 		k := parseK(r.URL.Query().Get("k"), 10)
+		buf := wire.Get()
+		if wantsBinary(r) {
+			w.Header().Set("Content-Type", wire.BinaryContentType)
+			buf.B = AppendRelatedBin(buf.B[:0], snap, id, k)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			buf.B = AppendRelatedJSON(buf.B[:0], snap, id, k)
+			buf.B = append(buf.B, '\n')
+		}
+		_, _ = w.Write(buf.B) //cosmo:lint-ignore dropped-error best-effort response write; a write failure means the client is gone
+		wire.Put(buf)
+	})
+	mux.HandleFunc("/similar", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		ix := d.Similarity()
+		if ix == nil {
+			http.Error(w, "similarity index not loaded", http.StatusServiceUnavailable)
+			return
+		}
+		k := parseK(r.URL.Query().Get("k"), 10)
+		matches := ix.Lookup(q, k)
+		buf := wire.Get()
+		if wantsBinary(r) {
+			w.Header().Set("Content-Type", wire.BinaryContentType)
+			buf.B = AppendSimilarBin(buf.B[:0], q, matches)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			buf.B = AppendSimilarJSON(buf.B[:0], q, matches)
+			buf.B = append(buf.B, '\n')
+		}
+		_, _ = w.Write(buf.B) //cosmo:lint-ignore dropped-error best-effort response write; a write failure means the client is gone
+		wire.Put(buf)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body := wire.Get()
+		var err error
+		body.B, err = readAllInto(body.B[:0], http.MaxBytesReader(w, r.Body, MaxBatchBodyBytes))
+		if err != nil {
+			wire.Put(body)
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "reading request body failed", http.StatusBadRequest)
+			return
+		}
+		resp := wire.Get()
+		var status int
+		resp.B, status = d.AppendBatch(resp.B[:0], body.B)
+		wire.Put(body)
+		if status != http.StatusOK {
+			switch status {
+			case http.StatusRequestEntityTooLarge:
+				http.Error(w, "too many batch items", status)
+			default:
+				http.Error(w, "malformed batch body", status)
+			}
+			wire.Put(resp)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"id":      id,
-			"related": snap.RelatedProducts(id, k),
-		})
+		resp.B = append(resp.B, '\n')
+		_, _ = w.Write(resp.B) //cosmo:lint-ignore dropped-error best-effort response write; a write failure means the client is gone
+		wire.Put(resp)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := d.LatencyPercentiles()
@@ -120,6 +190,8 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			body["resilience"] = rs
 			body["breaker_state"] = rs.BreakerState.String()
 		}
+		// /stats is diagnostic, not hot: the stdlib encoder keeps it in
+		// lockstep with whatever the stats structs grow next.
 		w.Header().Set("Content-Type", "application/json")
 		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
 		_ = json.NewEncoder(w).Encode(body)
@@ -130,13 +202,17 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			http.Error(w, "knowledge graph not loaded", http.StatusServiceUnavailable)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		//cosmo:lint-ignore dropped-error best-effort response write; an encode failure means the client is gone
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"nodes":     snap.NumNodes(),
-			"edges":     snap.NumEdges(),
-			"relations": snap.NumRelations(),
-		})
+		buf := wire.Get()
+		if wantsBinary(r) {
+			w.Header().Set("Content-Type", wire.BinaryContentType)
+			buf.B = AppendKGBin(buf.B[:0], snap)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			buf.B = AppendKGJSON(buf.B[:0], snap)
+			buf.B = append(buf.B, '\n')
+		}
+		_, _ = w.Write(buf.B) //cosmo:lint-ignore dropped-error best-effort response write; a write failure means the client is gone
+		wire.Put(buf)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -213,8 +289,41 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			fmt.Fprintf(w, "cosmo_kg_nodes %d\n", snap.NumNodes())
 			fmt.Fprintf(w, "cosmo_kg_edges %d\n", snap.NumEdges())
 		}
+		if ix := d.Similarity(); ix != nil {
+			fmt.Fprintf(w, "cosmo_similarity_indexed %d\n", ix.NumIndexed())
+		}
+		// Cumulative heap allocation count: cosmo-loadgen samples this
+		// before and after a run to report allocations per request.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(w, "cosmo_go_mallocs_total %d\n", ms.Mallocs)
 	})
 	return mux
+}
+
+// wantsBinary reports whether the request negotiates the compact binary
+// response format via the Accept header.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.BinaryContentType)
+}
+
+// readAllInto is io.ReadAll into a caller-owned (pooled) buffer: the
+// buffer grows only past its previous high-water mark, so steady-state
+// batch reads allocate nothing.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if errors.Is(err, io.EOF) {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 // parseK parses a positive result-count parameter, falling back to def

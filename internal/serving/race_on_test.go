@@ -1,0 +1,8 @@
+//go:build race
+
+package serving
+
+// raceEnabled mirrors the -race build tag for tests: sync.Pool
+// deliberately drops items under the race detector, so pool-backed
+// zero-alloc guards only hold in the regular suite.
+const raceEnabled = true

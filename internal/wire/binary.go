@@ -1,0 +1,150 @@
+// Compact binary response format, negotiated per request via the
+// Accept header. JSON stays the default and the only format for write
+// paths; clients that want the KG read endpoints without JSON parsing
+// cost send
+//
+//	Accept: application/x-cosmo-bin
+//
+// and receive a length-prefixed little-endian frame instead:
+//
+//	byte 0    format version (BinaryVersion)
+//	byte 1    shape tag (BinIntentions, BinRelated, BinKG, BinSimilar)
+//	payload   shape-specific fields, in order, using
+//	          - uvarint   for counts and non-negative integers
+//	          - str       uvarint byte length + UTF-8 bytes
+//	          - f64       IEEE 754 bits, little-endian, 8 bytes
+//
+// Shapes (field order is the wire contract, documented in DESIGN.md):
+//
+//	BinIntentions: id str, count uvarint, then per edge:
+//	               relation str, intention str, plausible f64,
+//	               typical f64, support uvarint
+//	BinRelated:    id str, count uvarint, then per product:
+//	               product_id str, label str, score f64,
+//	               via_count uvarint, via labels str...
+//	BinKG:         nodes uvarint, edges uvarint, relations uvarint
+//	BinSimilar:    q str, count uvarint, then per match:
+//	               id str, label str, score f64
+//
+// The primitives below are append-style like the JSON side, so binary
+// responses share the same pooled-buffer, zero-alloc discipline.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// BinaryContentType is the negotiated media type of the compact binary
+// response format.
+const BinaryContentType = "application/x-cosmo-bin"
+
+// BinaryVersion is the first byte of every binary frame.
+const BinaryVersion = 1
+
+// Binary frame shape tags (second byte of the frame).
+const (
+	BinIntentions = 1
+	BinRelated    = 2
+	BinKG         = 3
+	BinSimilar    = 4
+)
+
+// AppendBinHeader appends the two-byte frame header.
+//
+//cosmo:alloc-free
+func AppendBinHeader(dst []byte, tag byte) []byte {
+	return append(dst, BinaryVersion, tag)
+}
+
+// AppendBinUvarint appends v as an unsigned varint.
+//
+//cosmo:alloc-free
+func AppendBinUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendBinString appends a length-prefixed string.
+//
+//cosmo:alloc-free
+func AppendBinString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBinStringBytes appends a length-prefixed byte string.
+//
+//cosmo:alloc-free
+func AppendBinStringBytes(dst []byte, s []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBinFloat appends the IEEE 754 bits of v, little-endian.
+//
+//cosmo:alloc-free
+func AppendBinFloat(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// ErrBinTruncated reports a binary frame that ended mid-field.
+var ErrBinTruncated = errors.New("wire: truncated binary frame")
+
+// BinReader decodes a binary frame (test and client-side use; the
+// serving hot path only encodes).
+type BinReader struct {
+	b []byte
+	i int
+}
+
+// NewBinReader wraps a frame. Header validation is the caller's first
+// ReadHeader call.
+func NewBinReader(b []byte) *BinReader { return &BinReader{b: b} }
+
+// ReadHeader consumes and returns the (version, tag) header.
+func (r *BinReader) ReadHeader() (version, tag byte, err error) {
+	if len(r.b)-r.i < 2 {
+		return 0, 0, ErrBinTruncated
+	}
+	version, tag = r.b[r.i], r.b[r.i+1]
+	r.i += 2
+	return version, tag, nil
+}
+
+// ReadUvarint consumes one unsigned varint.
+func (r *BinReader) ReadUvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.i:])
+	if n <= 0 {
+		return 0, ErrBinTruncated
+	}
+	r.i += n
+	return v, nil
+}
+
+// ReadString consumes one length-prefixed string.
+func (r *BinReader) ReadString() (string, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.b)-r.i) < n {
+		return "", ErrBinTruncated
+	}
+	s := string(r.b[r.i : r.i+int(n)])
+	r.i += int(n)
+	return s, nil
+}
+
+// ReadFloat consumes one little-endian float64.
+func (r *BinReader) ReadFloat() (float64, error) {
+	if len(r.b)-r.i < 8 {
+		return 0, ErrBinTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.i:]))
+	r.i += 8
+	return v, nil
+}
+
+// Remaining reports how many bytes are left unread.
+func (r *BinReader) Remaining() int { return len(r.b) - r.i }

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBinaryRoundTrip encodes a frame with the append primitives and
+// decodes it with BinReader, pinning the wire contract both ways.
+func TestBinaryRoundTrip(t *testing.T) {
+	b := AppendBinHeader(nil, BinRelated)
+	b = AppendBinString(b, "p:P1")
+	b = AppendBinUvarint(b, 2)
+	b = AppendBinString(b, "p:P2")
+	b = AppendBinStringBytes(b, []byte("dome tent — héllo"))
+	b = AppendBinFloat(b, 0.875)
+	b = AppendBinUvarint(b, 1)
+	b = AppendBinString(b, "camping")
+	b = AppendBinString(b, "p:P3")
+	b = AppendBinString(b, "")
+	b = AppendBinFloat(b, math.Inf(1))
+	b = AppendBinUvarint(b, 0)
+
+	r := NewBinReader(b)
+	version, tag, err := r.ReadHeader()
+	if err != nil || version != BinaryVersion || tag != BinRelated {
+		t.Fatalf("ReadHeader = (%d, %d, %v), want (%d, %d, nil)", version, tag, err, BinaryVersion, BinRelated)
+	}
+	readStr := func(want string) {
+		t.Helper()
+		s, err := r.ReadString()
+		if err != nil || s != want {
+			t.Fatalf("ReadString = (%q, %v), want (%q, nil)", s, err, want)
+		}
+	}
+	readUvarint := func(want uint64) {
+		t.Helper()
+		v, err := r.ReadUvarint()
+		if err != nil || v != want {
+			t.Fatalf("ReadUvarint = (%d, %v), want (%d, nil)", v, err, want)
+		}
+	}
+	readFloat := func(want float64) {
+		t.Helper()
+		v, err := r.ReadFloat()
+		if err != nil || v != want {
+			t.Fatalf("ReadFloat = (%v, %v), want (%v, nil)", v, err, want)
+		}
+	}
+	readStr("p:P1")
+	readUvarint(2)
+	readStr("p:P2")
+	readStr("dome tent — héllo")
+	readFloat(0.875)
+	readUvarint(1)
+	readStr("camping")
+	readStr("p:P3")
+	readStr("")
+	readFloat(math.Inf(1))
+	readUvarint(0)
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after full decode, want 0", r.Remaining())
+	}
+}
+
+// TestBinaryUvarintBoundaries sweeps varint length boundaries.
+func TestBinaryUvarintBoundaries(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 16383, 16384, 1 << 32, math.MaxUint64}
+	var b []byte
+	for _, v := range vals {
+		b = AppendBinUvarint(b, v)
+	}
+	r := NewBinReader(b)
+	for _, want := range vals {
+		got, err := r.ReadUvarint()
+		if err != nil || got != want {
+			t.Fatalf("ReadUvarint = (%d, %v), want (%d, nil)", got, err, want)
+		}
+	}
+}
+
+// TestBinaryTruncation verifies every reader reports ErrBinTruncated on
+// short frames instead of panicking or reading garbage.
+func TestBinaryTruncation(t *testing.T) {
+	full := AppendBinHeader(nil, BinSimilar)
+	full = AppendBinString(full, "query text")
+	full = AppendBinFloat(full, 1.5)
+	for n := 0; n < len(full); n++ {
+		r := NewBinReader(full[:n])
+		_, _, err := r.ReadHeader()
+		if err == nil {
+			if _, err = r.ReadString(); err == nil {
+				_, err = r.ReadFloat()
+			}
+		}
+		if err == nil {
+			t.Fatalf("truncated frame of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
