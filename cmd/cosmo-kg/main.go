@@ -66,6 +66,7 @@ func main() {
 	tsv := flag.String("tsv", "", "TSV destination for the export command")
 	jsonl := flag.String("jsonl", "", "JSONL destination for the export command")
 	out := flag.String("out", "", "snapshot destination for the pack command")
+	v2 := flag.Bool("v2", true, "pack in format v2 (per-section checksums, 8-byte alignment, mmap-servable); -v2=false writes legacy v1 for pre-v2 deployments")
 	flag.Parse()
 
 	if *in == "" || flag.NArg() < 1 {
@@ -129,10 +130,15 @@ func main() {
 		if *out == "" {
 			log.Fatal("pack requires -out <path> (flags go before the command)")
 		}
-		if err := kg.WriteSnapshotFile(*out, snap); err != nil {
+		version := uint32(2)
+		if !*v2 {
+			version = 1
+		}
+		if err := kg.WriteSnapshotFileVersion(*out, snap, version); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("packed %d nodes / %d edges into %s\n", snap.NumNodes(), snap.NumEdges(), *out)
+		fmt.Printf("packed %d nodes / %d edges into %s (format v%d)\n",
+			snap.NumNodes(), snap.NumEdges(), *out, version)
 	default:
 		log.Fatalf("unknown command %q", flag.Arg(0))
 	}

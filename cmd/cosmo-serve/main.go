@@ -25,12 +25,25 @@
 // — no Freeze, no re-indexing — and each refresh re-reads the file and
 // swaps the fresh snapshot in through the same atomic pointer, so a
 // newly packed artifact goes live on the next refresh tick without a
-// restart. A failed reload keeps the current snapshot serving.
+// restart. A failed reload keeps the current snapshot serving. Adding
+// -mmap memory-maps a v2 artifact instead of copying it onto the heap
+// (kg.MapSnapshot): start-up touches only the string tables, queries
+// validate each section lazily on first use, and a retired snapshot's
+// mapping is released only once its last in-flight reader is gone — a
+// hot reload never unmaps under a live request. v1 artifacts fall back
+// to the copy loader with a log line.
+//
+// A refresh tick only reloads when the artifact actually changed:
+// unchanged stat identity (mtime+size), or an unchanged v2 table
+// checksum — the sealed per-section CRCs double as a content
+// fingerprint — skip the reload and RCU swap entirely, counted by the
+// cosmo_snapshot_reloads_total / cosmo_snapshot_reload_skipped_total
+// metric pair.
 //
 // Usage:
 //
 //	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
-//	            [-snapshot kg.cosmo] [-ann-tables 16] [-ann-bits 10]
+//	            [-snapshot kg.cosmo] [-mmap] [-ann-tables 16] [-ann-bits 10]
 //	            [-fault-rate 0.2 -fault-seed 1 -fault-hang-rate 0.05 -fault-panic-rate 0.05]
 //
 // Endpoints: GET /intent?q=..., GET /intentions?id=..., GET /related?id=...,
@@ -49,6 +62,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -65,6 +79,7 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	snapshotPath := flag.String("snapshot", "", "serve the KG from this packed binary snapshot (.cosmo), loaded in O(read) and re-read on each refresh")
+	useMmap := flag.Bool("mmap", false, "memory-map the -snapshot artifact (v2) instead of copying it onto the heap; v1 artifacts fall back to the copy loader")
 	events := flag.Int("events", 10000, "behavior events for the offline pipeline")
 	refresh := flag.Duration("refresh", 24*time.Hour, "model refresh interval")
 	batchEvery := flag.Duration("batch", 2*time.Second, "batch-worker interval")
@@ -95,16 +110,36 @@ func main() {
 		log.Fatal(err)
 	}
 	// KG source: a packed binary snapshot loads in O(read) with zero
-	// re-indexing; otherwise the pipeline's graph is frozen in-process.
+	// re-indexing (O(string tables) under -mmap); otherwise the
+	// pipeline's graph is frozen in-process.
+	loadSnapshot := func(path string) (*kg.Snapshot, error) {
+		if !*useMmap {
+			return kg.ReadSnapshotFile(path)
+		}
+		s, err := kg.MapSnapshotFile(path)
+		if errors.Is(err, kg.ErrSnapshotVersion) {
+			log.Printf("%s is not a v2 snapshot; -mmap falls back to the copy loader (repack with cosmo-kg pack to serve zero-copy)", path)
+			return kg.ReadSnapshotFile(path)
+		}
+		return s, err
+	}
 	var snap *kg.Snapshot
+	var lastStamp kg.SnapshotStamp
 	if *snapshotPath != "" {
 		start := time.Now()
-		snap, err = kg.ReadSnapshotFile(*snapshotPath)
+		snap, err = loadSnapshot(*snapshotPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded snapshot %s in %v: %d nodes / %d edges (no Freeze)",
-			*snapshotPath, time.Since(start), snap.NumNodes(), snap.NumEdges())
+		if lastStamp, err = kg.StampSnapshotFile(*snapshotPath); err != nil {
+			log.Printf("snapshot stamp failed (every refresh tick will reload): %v", err)
+		}
+		how := "no Freeze"
+		if snap.Mapped() {
+			how = "mmap, lazy validation"
+		}
+		log.Printf("loaded snapshot %s in %v: %d nodes / %d edges (%s)",
+			*snapshotPath, time.Since(start), snap.NumNodes(), snap.NumEdges(), how)
 	} else {
 		snap = res.KG.Freeze()
 	}
@@ -158,6 +193,9 @@ func main() {
 		MaxBatchItems: *maxBatch,
 	}, responder)
 	dep.SetKG(snap)
+	if *snapshotPath != "" {
+		dep.NoteSnapshotReload() // the initial artifact load
+	}
 	annCfg := kg.SimilarityConfig{Tables: *annTables, Bits: *annBits, Seed: *annSeed}
 	buildANN := func(s *kg.Snapshot) {
 		start := time.Now()
@@ -191,13 +229,32 @@ func main() {
 				// newly built artifact goes live here) or re-freeze the
 				// in-process graph — and swap it in; readers on the old
 				// snapshot are undisturbed. A failed reload falls back to
-				// the snapshot already serving.
+				// the snapshot already serving, and an unchanged artifact
+				// (same stat identity, or same v2 content fingerprint
+				// after e.g. an idempotent repack) skips the reload and
+				// swap entirely.
 				next := dep.KG()
 				if *snapshotPath != "" {
-					if reloaded, err := kg.ReadSnapshotFile(*snapshotPath); err != nil {
+					fresh := true
+					if fi, err := os.Stat(*snapshotPath); err == nil &&
+						fi.Size() == lastStamp.Size && fi.ModTime().Equal(lastStamp.ModTime) {
+						fresh = false // cheap path: stat identity unchanged, no open
+					} else if stamp, err := kg.StampSnapshotFile(*snapshotPath); err == nil &&
+						stamp.SameContent(lastStamp) {
+						fresh = false // rewritten but byte-identical: fingerprint unchanged
+						lastStamp = stamp
+					}
+					if !fresh {
+						dep.NoteSnapshotReloadSkipped()
+						log.Print("snapshot unchanged on disk; skipping reload")
+					} else if reloaded, err := loadSnapshot(*snapshotPath); err != nil {
 						log.Printf("snapshot reload failed (current snapshot keeps serving): %v", err)
 					} else {
 						next = reloaded
+						dep.NoteSnapshotReload()
+						if lastStamp, err = kg.StampSnapshotFile(*snapshotPath); err != nil {
+							log.Printf("snapshot stamp failed (next tick will reload): %v", err)
+						}
 					}
 				} else {
 					next = res.KG.Freeze()

@@ -73,6 +73,17 @@ func (r *Runner) World() *core.Result {
 	return res
 }
 
+// DropWorld releases the cached pipeline world and frozen snapshot so
+// memory-sensitive harnesses (cosmo-bench -mmapbench) can measure
+// loaders against a quiet heap after deriving their artifacts. The
+// next World call rebuilds from scratch.
+func (r *Runner) DropWorld() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.res = nil
+	r.snap = nil
+}
+
 // KGSnapshot lazily freezes the world's knowledge graph once and
 // caches it — the serving-side experiments read the same immutable
 // view a deployment would.

@@ -119,8 +119,9 @@ func BuildSimilarityIndex(s *Snapshot, cfg SimilarityConfig) *SimilarityIndex {
 		ix.planes[i] = rng.NormFloat64()
 	}
 
-	for i, nt := range s.ntypes {
-		if nt != NodeIntention {
+	s.touch(maskNodeTypes)
+	for i := range s.ntypes {
+		if s.nodeType(sym32(i)) != NodeIntention {
 			continue
 		}
 		vec := ix.model.Embed(s.labels[i])

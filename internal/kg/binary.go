@@ -6,27 +6,55 @@
 // that dominates startup, so the interned CSR arrays themselves are the
 // durable artifact here.
 //
-// Layout (all integers little-endian; see DESIGN.md, "Binary snapshot
-// persistence", for the normative spec):
+// Two format versions share the magic and section vocabulary (all
+// integers little-endian; see DESIGN.md, "Binary snapshot persistence"
+// and "Memory-mapped serving", for the normative spec):
+//
+// Version 1 (legacy; still read, no longer written by default):
 //
 //	magic   [8]byte  "COSMOSNP"
-//	version uint32   (currently 1)
+//	version uint32   1
 //	nsect   uint32   section count
 //	table   nsect ×  { id uint32, length uint64 }
 //	body    the sections, contiguous, in table order
 //	footer  uint64   CRC-64/ECMA of every preceding byte
 //
+// Version 2 (current) trades the whole-file footer for a per-section
+// CRC-64 in the table and 8-byte section alignment, which is what lets
+// kg.MapSnapshot alias the numeric arrays straight out of an mmap'd
+// file and validate each section lazily on first touch:
+//
+//	magic    [8]byte  "COSMOSNP"
+//	version  uint32   2
+//	nsect    uint32   section count
+//	table    nsect ×  { id uint32, reserved uint32 = 0,
+//	                    offset uint64, length uint64, crc uint64 }
+//	tablecrc uint64   CRC-64/ECMA of every preceding byte
+//	body     the sections at their table offsets, each offset 8-byte
+//	         aligned, zero padding between sections, no trailing pad
+//
+// Each v2 section crc covers exactly its length payload bytes (never
+// the padding, which readers require to be zero). The tablecrc seals
+// the header and table — and, because the table contains every
+// section's crc, it is a content fingerprint for the whole artifact
+// (cosmo-serve uses it to skip reloading an unchanged file).
+//
 // String-list sections are a uint32 count followed by count ×
 // (uint32 length + raw bytes). Numeric sections are raw arrays (the
 // element count is the section length over the element width). Node
 // types and behavior types are interned through their own small string
-// tables with one index byte per node/edge.
+// tables with one index byte per node/edge — the same u8-over-table
+// layout the in-memory Snapshot now uses, so neither writing nor
+// loading re-interns anything.
 //
-// ReadSnapshot verifies the whole-file checksum and structurally
-// validates every section (counts consistent, symbols in range, CSR
-// offsets monotone and exhaustive) before building the snapshot, so a
-// corrupt or adversarial input returns an error instead of panicking —
-// or worse, serving wrong edges.
+// ReadSnapshot verifies the checksums (whole-file for v1, per-section
+// for v2) and structurally validates every section (counts consistent,
+// symbols in range, CSR offsets monotone and exhaustive) before
+// building the snapshot, so a corrupt or adversarial input returns an
+// error instead of panicking — or worse, serving wrong edges. Decode
+// failures detected inside a section are reported as a *SectionError
+// naming the section and its byte offset, so triaging a damaged
+// artifact does not require a hex dump.
 package kg
 
 import (
@@ -40,7 +68,7 @@ import (
 	"io"
 	"math"
 	"os"
-	"sort"
+	"runtime"
 
 	"cosmo/internal/catalog"
 	"cosmo/internal/know"
@@ -50,10 +78,14 @@ import (
 // snapshotMagic opens every binary snapshot file.
 const snapshotMagic = "COSMOSNP"
 
-// snapshotVersion is the current format version. Any change to the
-// layout — new sections, changed encodings, changed sort invariants —
-// bumps this; readers reject versions they do not know.
-const snapshotVersion = 1
+// Format versions. WriteSnapshot emits snapshotVersion; the reader
+// accepts both. Any change to the layout — new sections, changed
+// encodings, changed sort invariants — bumps the current version;
+// readers reject versions they do not know.
+const (
+	snapshotVersionLegacy = 1
+	snapshotVersion       = 2
+)
 
 // Sentinel errors for the three failure classes of ReadSnapshot.
 // Structural and checksum failures wrap ErrSnapshotCorrupt so callers
@@ -64,7 +96,7 @@ var (
 	ErrSnapshotCorrupt = errors.New("kg: snapshot corrupt")
 )
 
-// Section identifiers. Version 1 requires every section exactly once.
+// Section identifiers. Both versions require every section exactly once.
 const (
 	secNodeIDs    = 1  // string list, strictly ascending node IDs
 	secNodeLabels = 2  // string list, one label per node
@@ -102,7 +134,75 @@ var sectionOrder = []uint32{
 	secRelOff, secRelIdx, secDomOff, secDomIdx,
 }
 
+// sectionNames label sections in SectionError messages.
+var sectionNames = map[uint32]string{
+	secNodeIDs: "node-ids", secNodeLabels: "node-labels",
+	secNodeTypes: "node-type-table", secNodeTypeIx: "node-type-index",
+	secRels: "relations", secDoms: "domains", secBehs: "behavior-table",
+	secEdgeHead: "edge-heads", secEdgeTail: "edge-tails",
+	secEdgeRel: "edge-relations", secEdgeDom: "edge-domains",
+	secEdgeBeh: "edge-behaviors", secEdgeSup: "edge-supports",
+	secEdgePla: "edge-plausibility", secEdgeTyp: "edge-typicality",
+	secHeadOff: "byhead-offsets", secHeadIdx: "byhead-indexes",
+	secTailOff: "bytail-offsets", secTailIdx: "bytail-indexes",
+	secRelOff: "byrel-offsets", secRelIdx: "byrel-indexes",
+	secDomOff: "bydom-offsets", secDomIdx: "bydom-indexes",
+}
+
+// SectionName returns the human-readable name of a section id (for
+// error messages and tooling); unknown ids format as "section-N".
+func SectionName(id uint32) string {
+	if n, ok := sectionNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("section-%d", id)
+}
+
+// SectionError attributes a snapshot decode or validation failure to
+// the file section it was detected in: the section id and the byte
+// offset of that section's body in the file. It wraps
+// ErrSnapshotCorrupt, so errors.Is(err, ErrSnapshotCorrupt) keeps
+// working, and errors.As(&SectionError{}) recovers the attribution.
+type SectionError struct {
+	Section uint32 // section id (sec* constants)
+	Offset  int64  // byte offset of the section body in the file
+	Err     error  // the underlying decode/validation failure
+}
+
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("kg: snapshot corrupt: section %s (id %d) at offset %d: %v",
+		SectionName(e.Section), e.Section, e.Offset, e.Err)
+}
+
+// Unwrap exposes both the corrupt sentinel and the underlying cause.
+func (e *SectionError) Unwrap() []error { return []error{ErrSnapshotCorrupt, e.Err} }
+
+// secErr wraps a failure with its section attribution; nil stays nil.
+func secErr(sec uint32, off int64, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &SectionError{Section: sec, Offset: off, Err: err}
+}
+
 var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// align8 rounds up to the next 8-byte boundary (v2 section alignment:
+// every numeric array starts 8-aligned so float64 and int32 sections
+// can be aliased in place by the mmap loader).
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+
+// v2 fixed sizes: the 16-byte header (magic + version + nsect), one
+// 32-byte table entry per section, and the 8-byte table checksum.
+const (
+	v2HeaderLen     = len(snapshotMagic) + 8
+	v2TableEntryLen = 32
+)
+
+// v2BodyStart is the offset of the first section body in a v2 file.
+func v2BodyStart() uint64 {
+	return uint64(v2HeaderLen + len(sectionOrder)*v2TableEntryLen + 8)
+}
 
 // IsSnapshotHeader reports whether b (the first bytes of a file) opens
 // a binary snapshot; callers use it to sniff .cosmo vs gob inputs.
@@ -110,8 +210,8 @@ func IsSnapshotHeader(b []byte) bool {
 	return len(b) >= len(snapshotMagic) && string(b[:len(snapshotMagic)]) == snapshotMagic
 }
 
-// crcWriter tees everything written through a CRC-64 so the footer
-// checksum covers the exact bytes on the wire.
+// crcWriter tees everything written through a CRC-64 so checksums
+// cover the exact bytes on the wire.
 type crcWriter struct {
 	w   io.Writer
 	crc hash.Hash64
@@ -199,71 +299,45 @@ func stringListLen(xs []string) uint64 {
 	return n
 }
 
-// internStrings builds the sorted unique table over xs plus the
-// per-element index into it. The table is capped at 256 entries (the
-// index is one byte); node and behavior types are tiny closed sets.
-func internStrings(xs []string) (table []string, idx []uint8, err error) {
-	seen := map[string]bool{}
-	for _, s := range xs {
-		if !seen[s] {
-			seen[s] = true
-			table = append(table, s)
-		}
-	}
-	sort.Strings(table)
-	if len(table) > 256 {
-		return nil, nil, fmt.Errorf("kg: snapshot: %d distinct interned values exceed the u8 index space", len(table))
-	}
-	pos := make(map[string]uint8, len(table))
-	for i, s := range table {
-		pos[s] = uint8(i)
-	}
-	idx = make([]uint8, len(xs))
-	for i, s := range xs {
-		idx[i] = pos[s]
-	}
-	return table, idx, nil
+// sectionStrings carries the []string views of the snapshot's typed
+// string tables, built once per write.
+type sectionStrings struct {
+	ntypes, behs, rels, doms []string
 }
 
-// WriteSnapshot encodes the snapshot in the versioned binary format.
-// The write is streaming — section lengths are computed analytically,
-// so no section is materialized in memory — and finishes with the
-// CRC-64 footer over every byte written.
-func (s *Snapshot) WriteSnapshot(w io.Writer) error {
-	ntypeStrs := make([]string, len(s.ntypes))
-	for i, t := range s.ntypes {
-		ntypeStrs[i] = string(t)
+func (s *Snapshot) sectionStrings() sectionStrings {
+	var ss sectionStrings
+	ss.ntypes = make([]string, len(s.ntypeTable))
+	for i, t := range s.ntypeTable {
+		ss.ntypes[i] = string(t)
 	}
-	ntypeTable, ntypeIx, err := internStrings(ntypeStrs)
-	if err != nil {
-		return err
+	ss.behs = make([]string, len(s.behTable))
+	for i, b := range s.behTable {
+		ss.behs[i] = string(b)
 	}
-	behStrs := make([]string, len(s.eBeh))
-	for i, b := range s.eBeh {
-		behStrs[i] = string(b)
-	}
-	behTable, behIx, err := internStrings(behStrs)
-	if err != nil {
-		return err
-	}
-	relStrs := make([]string, len(s.rels))
+	ss.rels = make([]string, len(s.rels))
 	for i, r := range s.rels {
-		relStrs[i] = string(r)
+		ss.rels[i] = string(r)
 	}
-	domStrs := make([]string, len(s.doms))
+	ss.doms = make([]string, len(s.doms))
 	for i, d := range s.doms {
-		domStrs[i] = string(d)
+		ss.doms[i] = string(d)
 	}
+	return ss
+}
 
+// sectionLengths computes every section's encoded length analytically,
+// so the writers can emit the table before any body bytes exist.
+func (s *Snapshot) sectionLengths(ss sectionStrings) map[uint32]uint64 {
 	nn, ne := uint64(len(s.ids)), uint64(len(s.eHead))
-	lengths := map[uint32]uint64{
+	return map[uint32]uint64{
 		secNodeIDs:    stringListLen(s.ids),
 		secNodeLabels: stringListLen(s.labels),
-		secNodeTypes:  stringListLen(ntypeTable),
+		secNodeTypes:  stringListLen(ss.ntypes),
 		secNodeTypeIx: nn,
-		secRels:       stringListLen(relStrs),
-		secDoms:       stringListLen(domStrs),
-		secBehs:       stringListLen(behTable),
+		secRels:       stringListLen(ss.rels),
+		secDoms:       stringListLen(ss.doms),
+		secBehs:       stringListLen(ss.behs),
 		secEdgeHead:   ne * 4,
 		secEdgeTail:   ne * 4,
 		secEdgeRel:    ne * 4,
@@ -281,65 +355,103 @@ func (s *Snapshot) WriteSnapshot(w io.Writer) error {
 		secDomOff:     uint64(len(s.byDom.off)) * 4,
 		secDomIdx:     ne * 4,
 	}
+}
+
+// writeSectionBody encodes one section through cw. Shared by the v1
+// writer, the v2 checksum pass and the v2 write pass, so the encoding
+// cannot drift between them.
+func (s *Snapshot) writeSectionBody(cw *crcWriter, ss sectionStrings, id uint32) {
+	switch id {
+	case secNodeIDs:
+		cw.stringList(s.ids)
+	case secNodeLabels:
+		cw.stringList(s.labels)
+	case secNodeTypes:
+		cw.stringList(ss.ntypes)
+	case secNodeTypeIx:
+		cw.write(s.ntypes)
+	case secRels:
+		cw.stringList(ss.rels)
+	case secDoms:
+		cw.stringList(ss.doms)
+	case secBehs:
+		cw.stringList(ss.behs)
+	case secEdgeHead:
+		cw.i32s(s.eHead)
+	case secEdgeTail:
+		cw.i32s(s.eTail)
+	case secEdgeRel:
+		cw.i32s(s.eRel)
+	case secEdgeDom:
+		cw.i32s(s.eDom)
+	case secEdgeBeh:
+		cw.write(s.eBeh)
+	case secEdgeSup:
+		cw.i32s(s.eSup)
+	case secEdgePla:
+		cw.f64s(s.ePla)
+	case secEdgeTyp:
+		cw.f64s(s.eTyp)
+	case secHeadOff:
+		cw.i32s(s.byHead.off)
+	case secHeadIdx:
+		cw.i32s(s.byHead.idx)
+	case secTailOff:
+		cw.i32s(s.byTail.off)
+	case secTailIdx:
+		cw.i32s(s.byTail.idx)
+	case secRelOff:
+		cw.i32s(s.byRel.off)
+	case secRelIdx:
+		cw.i32s(s.byRel.idx)
+	case secDomOff:
+		cw.i32s(s.byDom.off)
+	case secDomIdx:
+		cw.i32s(s.byDom.idx)
+	}
+}
+
+// WriteSnapshot encodes the snapshot in the current binary format
+// version (v2: per-section CRC-64, 8-byte aligned sections). The write
+// is streaming — section lengths are computed analytically and the v2
+// checksum pass encodes through the CRC without buffering — so no
+// section is ever materialized in memory.
+func (s *Snapshot) WriteSnapshot(w io.Writer) error {
+	return s.WriteSnapshotVersion(w, snapshotVersion)
+}
+
+// WriteSnapshotVersion encodes the snapshot in an explicit format
+// version: 2 (current) or 1 (legacy, for artifacts that must remain
+// readable by pre-v2 deployments).
+func (s *Snapshot) WriteSnapshotVersion(w io.Writer, version uint32) error {
+	s.touch(maskAll) // re-encoding reads every aliased section
+	switch version {
+	case snapshotVersionLegacy:
+		return s.writeSnapshotV1(w)
+	case snapshotVersion:
+		return s.writeSnapshotV2(w)
+	}
+	return fmt.Errorf("%w: cannot write version %d (writer supports %d and %d)",
+		ErrSnapshotVersion, version, snapshotVersionLegacy, snapshotVersion)
+}
+
+// writeSnapshotV1 emits the legacy layout: {id,len} table, contiguous
+// unaligned bodies, whole-file CRC-64 footer.
+func (s *Snapshot) writeSnapshotV1(w io.Writer) error {
+	ss := s.sectionStrings()
+	lengths := s.sectionLengths(ss)
 
 	bw := bufio.NewWriterSize(w, 1<<16)
 	cw := &crcWriter{w: bw, crc: crc64.New(crcTable)}
 	cw.write([]byte(snapshotMagic))
-	cw.u32(snapshotVersion)
+	cw.u32(snapshotVersionLegacy)
 	cw.u32n(len(sectionOrder))
 	for _, id := range sectionOrder {
 		cw.u32(id)
 		cw.u64(lengths[id])
 	}
 	for _, id := range sectionOrder {
-		switch id {
-		case secNodeIDs:
-			cw.stringList(s.ids)
-		case secNodeLabels:
-			cw.stringList(s.labels)
-		case secNodeTypes:
-			cw.stringList(ntypeTable)
-		case secNodeTypeIx:
-			cw.write(ntypeIx)
-		case secRels:
-			cw.stringList(relStrs)
-		case secDoms:
-			cw.stringList(domStrs)
-		case secBehs:
-			cw.stringList(behTable)
-		case secEdgeHead:
-			cw.i32s(s.eHead)
-		case secEdgeTail:
-			cw.i32s(s.eTail)
-		case secEdgeRel:
-			cw.i32s(s.eRel)
-		case secEdgeDom:
-			cw.i32s(s.eDom)
-		case secEdgeBeh:
-			cw.write(behIx)
-		case secEdgeSup:
-			cw.i32s(s.eSup)
-		case secEdgePla:
-			cw.f64s(s.ePla)
-		case secEdgeTyp:
-			cw.f64s(s.eTyp)
-		case secHeadOff:
-			cw.i32s(s.byHead.off)
-		case secHeadIdx:
-			cw.i32s(s.byHead.idx)
-		case secTailOff:
-			cw.i32s(s.byTail.off)
-		case secTailIdx:
-			cw.i32s(s.byTail.idx)
-		case secRelOff:
-			cw.i32s(s.byRel.off)
-		case secRelIdx:
-			cw.i32s(s.byRel.idx)
-		case secDomOff:
-			cw.i32s(s.byDom.off)
-		case secDomIdx:
-			cw.i32s(s.byDom.idx)
-		}
+		s.writeSectionBody(cw, ss, id)
 	}
 	if cw.err != nil {
 		return fmt.Errorf("kg: write snapshot: %w", cw.err)
@@ -353,6 +465,63 @@ func (s *Snapshot) WriteSnapshot(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("kg: flush snapshot: %w", err)
 	}
+	runtime.KeepAlive(s) // aliased sections must outlive the encode (mmap-backed snapshots)
+	return nil
+}
+
+// writeSnapshotV2 emits the current layout. Pass one streams every
+// section through a CRC-only writer to fill the table's per-section
+// checksums (no buffering); pass two writes the real bytes.
+func (s *Snapshot) writeSnapshotV2(w io.Writer) error {
+	ss := s.sectionStrings()
+	lengths := s.sectionLengths(ss)
+
+	offs := make(map[uint32]uint64, len(sectionOrder))
+	pos := v2BodyStart()
+	for _, id := range sectionOrder {
+		offs[id] = pos
+		pos = align8(pos + lengths[id])
+	}
+
+	crcs := make(map[uint32]uint64, len(sectionOrder))
+	for _, id := range sectionOrder {
+		cc := &crcWriter{w: io.Discard, crc: crc64.New(crcTable)}
+		s.writeSectionBody(cc, ss, id)
+		if cc.err != nil {
+			return fmt.Errorf("kg: write snapshot (checksum pass): %w", cc.err)
+		}
+		crcs[id] = cc.crc.Sum64()
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &crcWriter{w: bw, crc: crc64.New(crcTable)}
+	cw.write([]byte(snapshotMagic))
+	cw.u32(snapshotVersion)
+	cw.u32n(len(sectionOrder))
+	for _, id := range sectionOrder {
+		cw.u32(id)
+		cw.u32(0) // reserved
+		cw.u64(offs[id])
+		cw.u64(lengths[id])
+		cw.u64(crcs[id])
+	}
+	tableCRC := cw.crc.Sum64() // header + table, before the seal itself
+	cw.u64(tableCRC)
+
+	var pad [8]byte
+	at := v2BodyStart()
+	for _, id := range sectionOrder {
+		cw.write(pad[:offs[id]-at]) // zero padding up to the aligned offset
+		s.writeSectionBody(cw, ss, id)
+		at = offs[id] + lengths[id]
+	}
+	if cw.err != nil {
+		return fmt.Errorf("kg: write snapshot: %w", cw.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("kg: flush snapshot: %w", err)
+	}
+	runtime.KeepAlive(s) // aliased sections must outlive the encode (mmap-backed snapshots)
 	return nil
 }
 
@@ -362,34 +531,47 @@ func corrupt(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
 }
 
-// ReadSnapshot decodes a binary snapshot. The cost is O(bytes read):
-// the flat arrays are copied straight into place and the pre-sorted CSR
-// indexes are reused as-is — no Freeze, no sorting, no re-interning.
-// (The three symbol-lookup hash maps are rebuilt in one linear pass;
-// they are the only derived state.) The whole-file checksum and a full
-// structural validation run before any query API can observe the data,
-// so a truncated, bit-flipped or adversarial input fails with an error
-// wrapping ErrSnapshotCorrupt rather than panicking later.
+// ReadSnapshot decodes a binary snapshot (either version) by copying
+// it onto the heap. The cost is O(bytes read): the flat arrays are
+// copied straight into place and the pre-sorted CSR indexes are reused
+// as-is — no Freeze, no sorting, no re-interning. (The three
+// symbol-lookup hash maps are rebuilt in one linear pass; they are the
+// only derived state.) The checksums and a full structural validation
+// run before any query API can observe the data, so a truncated,
+// bit-flipped or adversarial input fails with an error wrapping
+// ErrSnapshotCorrupt — attributed to the damaged section where
+// detectable — rather than panicking later. For a zero-copy load that
+// defers section validation to first touch, see MapSnapshot.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	crc := crc64.New(crcTable)
-	tr := io.TeeReader(br, crc)
-
-	head := make([]byte, len(snapshotMagic)+8)
-	if _, err := io.ReadFull(tr, head); err != nil {
+	head := make([]byte, v2HeaderLen)
+	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: short header (%v)", ErrSnapshotMagic, err)
 	}
 	if !IsSnapshotHeader(head) {
 		return nil, ErrSnapshotMagic
 	}
 	version := binary.LittleEndian.Uint32(head[len(snapshotMagic):])
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("%w: version %d (reader supports %d)", ErrSnapshotVersion, version, snapshotVersion)
-	}
 	nsect := binary.LittleEndian.Uint32(head[len(snapshotMagic)+4:])
 	if int(nsect) != len(sectionOrder) {
 		return nil, corrupt("section count %d, want %d", nsect, len(sectionOrder))
 	}
+	switch version {
+	case snapshotVersionLegacy:
+		return readSnapshotV1(br, head)
+	case snapshotVersion:
+		return readSnapshotV2(br, head)
+	}
+	return nil, fmt.Errorf("%w: version %d (reader supports %d and %d)",
+		ErrSnapshotVersion, version, snapshotVersionLegacy, snapshotVersion)
+}
+
+// readSnapshotV1 decodes the legacy contiguous layout behind its
+// whole-file checksum.
+func readSnapshotV1(br *bufio.Reader, head []byte) (*Snapshot, error) {
+	crc := crc64.New(crcTable)
+	crc.Write(head) //cosmo:lint-ignore dropped-error hash.Hash Write never fails by contract
+	tr := io.TeeReader(br, crc)
 
 	// Section table: every known id exactly once, no unknown ids.
 	type sect struct {
@@ -400,7 +582,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	for _, id := range sectionOrder {
 		known[id] = true
 	}
-	table := make([]sect, nsect)
+	table := make([]sect, len(sectionOrder))
 	seen := map[uint32]bool{}
 	entry := make([]byte, 12)
 	for i := range table {
@@ -421,13 +603,17 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	// Section bodies, contiguous in table order. io.CopyN into a growing
 	// buffer keeps allocation proportional to bytes actually delivered,
 	// so a lying length cannot force a huge up-front allocation.
-	bodies := make(map[uint32][]byte, nsect)
+	bodies := make(map[uint32][]byte, len(table))
+	offs := make(map[uint32]int64, len(table))
+	pos := int64(len(head) + len(table)*12)
 	for _, t := range table {
 		var buf bytes.Buffer
+		offs[t.id] = pos
 		if n, err := io.CopyN(&buf, tr, int64(t.length)); err != nil {
-			return nil, corrupt("section %d: got %d of %d bytes (%v)", t.id, n, t.length, err)
+			return nil, secErr(t.id, pos, fmt.Errorf("got %d of %d bytes (%v)", n, t.length, err))
 		}
 		bodies[t.id] = buf.Bytes()
+		pos += int64(t.length)
 	}
 
 	// Footer: the checksum is read from the raw stream (it is not part
@@ -441,40 +627,152 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, corrupt("checksum mismatch: file %016x, computed %016x", got, want)
 	}
 
-	return buildSnapshot(bodies)
+	return buildSnapshot(bodies, offs)
+}
+
+// sectV2 is one parsed v2 table entry.
+type sectV2 struct {
+	id               uint32
+	off, length, crc uint64
+}
+
+// parseTableV2 decodes and cross-checks the v2 section table from its
+// raw bytes (the reader has already verified the tablecrc): every
+// known id exactly once, offsets 8-aligned, bodies laid out ascending
+// in table order with sub-8-byte gaps starting at v2BodyStart. Returns
+// the entries in layout (== table) order.
+func parseTableV2(tbl []byte) ([]sectV2, error) {
+	known := map[uint32]bool{}
+	for _, id := range sectionOrder {
+		known[id] = true
+	}
+	seen := map[uint32]bool{}
+	sects := make([]sectV2, len(sectionOrder))
+	for i := range sects {
+		e := tbl[i*v2TableEntryLen:]
+		id := binary.LittleEndian.Uint32(e)
+		if !known[id] {
+			return nil, corrupt("unknown section id %d", id)
+		}
+		if seen[id] {
+			return nil, corrupt("duplicate section id %d", id)
+		}
+		seen[id] = true
+		if reserved := binary.LittleEndian.Uint32(e[4:]); reserved != 0 {
+			return nil, corrupt("section id %d: nonzero reserved field %d", id, reserved)
+		}
+		sects[i] = sectV2{
+			id:     id,
+			off:    binary.LittleEndian.Uint64(e[8:]),
+			length: binary.LittleEndian.Uint64(e[16:]),
+			crc:    binary.LittleEndian.Uint64(e[24:]),
+		}
+	}
+	pos := v2BodyStart()
+	for _, t := range sects {
+		if t.off%8 != 0 {
+			return nil, corrupt("section %s: offset %d not 8-byte aligned", SectionName(t.id), t.off)
+		}
+		if t.off < pos || t.off-pos >= 8 {
+			return nil, corrupt("section %s: offset %d outside the expected [%d,%d) padding window",
+				SectionName(t.id), t.off, pos, pos+8)
+		}
+		if t.off > math.MaxInt64-t.length {
+			return nil, corrupt("section %s: offset %d + length %d overflows", SectionName(t.id), t.off, t.length)
+		}
+		pos = t.off + t.length
+	}
+	return sects, nil
+}
+
+// readSnapshotV2 decodes the aligned per-section-checksum layout from
+// a stream: table first (sealed by tablecrc), then each body in layout
+// order, verifying zero padding and every section's CRC as it goes.
+func readSnapshotV2(br *bufio.Reader, head []byte) (*Snapshot, error) {
+	tbl := make([]byte, len(sectionOrder)*v2TableEntryLen)
+	if _, err := io.ReadFull(br, tbl); err != nil {
+		return nil, corrupt("short section table (%v)", err)
+	}
+	crc := crc64.New(crcTable)
+	crc.Write(head) //cosmo:lint-ignore dropped-error hash.Hash Write never fails by contract
+	crc.Write(tbl)  //cosmo:lint-ignore dropped-error hash.Hash Write never fails by contract
+	seal := make([]byte, 8)
+	if _, err := io.ReadFull(br, seal); err != nil {
+		return nil, corrupt("short table checksum (%v)", err)
+	}
+	if got, want := binary.LittleEndian.Uint64(seal), crc.Sum64(); got != want {
+		return nil, corrupt("table checksum mismatch: file %016x, computed %016x", got, want)
+	}
+	sects, err := parseTableV2(tbl)
+	if err != nil {
+		return nil, err
+	}
+
+	bodies := make(map[uint32][]byte, len(sects))
+	offs := make(map[uint32]int64, len(sects))
+	pos := v2BodyStart()
+	pad := make([]byte, 8)
+	for _, t := range sects {
+		if gap := t.off - pos; gap > 0 {
+			if _, err := io.ReadFull(br, pad[:gap]); err != nil {
+				return nil, corrupt("short padding before section %s (%v)", SectionName(t.id), err)
+			}
+			for _, b := range pad[:gap] {
+				if b != 0 {
+					return nil, corrupt("nonzero padding before section %s", SectionName(t.id))
+				}
+			}
+		}
+		var buf bytes.Buffer
+		sum := crc64.New(crcTable)
+		if n, err := io.CopyN(&buf, io.TeeReader(br, sum), int64(t.length)); err != nil {
+			return nil, secErr(t.id, int64(t.off), fmt.Errorf("got %d of %d bytes (%v)", n, t.length, err))
+		}
+		if got := sum.Sum64(); got != t.crc {
+			return nil, secErr(t.id, int64(t.off),
+				fmt.Errorf("checksum mismatch: table %016x, computed %016x", t.crc, got))
+		}
+		bodies[t.id] = buf.Bytes()
+		offs[t.id] = int64(t.off)
+		pos = t.off + t.length
+	}
+	if n, err := br.Read(pad[:1]); n != 0 || !errors.Is(err, io.EOF) {
+		return nil, corrupt("trailing data after the last section")
+	}
+	return buildSnapshot(bodies, offs)
 }
 
 // parseStringList decodes a string-list section, requiring exact
 // consumption of the body.
-func parseStringList(sec uint32, b []byte) ([]string, error) {
+func parseStringList(b []byte) ([]string, error) {
 	if len(b) < 4 {
-		return nil, corrupt("section %d: string list shorter than its count", sec)
+		return nil, fmt.Errorf("string list shorter than its count")
 	}
 	count := binary.LittleEndian.Uint32(b)
 	b = b[4:]
 	out := make([]string, 0, min(int(count), len(b)+1))
 	for i := uint32(0); i < count; i++ {
 		if len(b) < 4 {
-			return nil, corrupt("section %d: string %d: missing length", sec, i)
+			return nil, fmt.Errorf("string %d: missing length", i)
 		}
 		n := binary.LittleEndian.Uint32(b)
 		b = b[4:]
 		if uint64(n) > uint64(len(b)) {
-			return nil, corrupt("section %d: string %d: length %d exceeds remaining %d bytes", sec, i, n, len(b))
+			return nil, fmt.Errorf("string %d: length %d exceeds remaining %d bytes", i, n, len(b))
 		}
 		out = append(out, string(b[:n]))
 		b = b[n:]
 	}
 	if len(b) != 0 {
-		return nil, corrupt("section %d: %d trailing bytes", sec, len(b))
+		return nil, fmt.Errorf("%d trailing bytes", len(b))
 	}
 	return out, nil
 }
 
 // parseI32s decodes a raw int32 array section.
-func parseI32s(sec uint32, b []byte) ([]int32, error) {
+func parseI32s(b []byte) ([]int32, error) {
 	if len(b)%4 != 0 {
-		return nil, corrupt("section %d: length %d not a multiple of 4", sec, len(b))
+		return nil, fmt.Errorf("length %d not a multiple of 4", len(b))
 	}
 	out := make([]int32, len(b)/4)
 	for i := range out {
@@ -484,9 +782,9 @@ func parseI32s(sec uint32, b []byte) ([]int32, error) {
 }
 
 // parseF64s decodes a raw float64 array section.
-func parseF64s(sec uint32, b []byte) ([]float64, error) {
+func parseF64s(b []byte) ([]float64, error) {
 	if len(b)%8 != 0 {
-		return nil, corrupt("section %d: length %d not a multiple of 8", sec, len(b))
+		return nil, fmt.Errorf("length %d not a multiple of 8", len(b))
 	}
 	out := make([]float64, len(b)/8)
 	for i := range out {
@@ -501,22 +799,22 @@ func parseF64s(sec uint32, b []byte) ([]float64, error) {
 // sort order is not re-derived here — it is covered by the checksum.
 func validateCSR(name string, c csr, rows, edges int, rowOf func(int32) int32, mark []bool) error {
 	if len(c.off) != rows+1 {
-		return corrupt("%s: %d offsets for %d rows", name, len(c.off), rows)
+		return fmt.Errorf("%s: %d offsets for %d rows", name, len(c.off), rows)
 	}
 	if len(c.idx) != edges {
-		return corrupt("%s: %d indexes for %d edges", name, len(c.idx), edges)
+		return fmt.Errorf("%s: %d indexes for %d edges", name, len(c.idx), edges)
 	}
 	if rows > 0 || edges > 0 {
 		if c.off[0] != 0 {
-			return corrupt("%s: first offset %d, want 0", name, c.off[0])
+			return fmt.Errorf("%s: first offset %d, want 0", name, c.off[0])
 		}
 		if int(c.off[rows]) != edges {
-			return corrupt("%s: last offset %d, want %d", name, c.off[rows], edges)
+			return fmt.Errorf("%s: last offset %d, want %d", name, c.off[rows], edges)
 		}
 	}
 	for r := 0; r < rows; r++ {
 		if c.off[r] > c.off[r+1] {
-			return corrupt("%s: offsets not monotone at row %d (%d > %d)", name, r, c.off[r], c.off[r+1])
+			return fmt.Errorf("%s: offsets not monotone at row %d (%d > %d)", name, r, c.off[r], c.off[r+1])
 		}
 	}
 	for i := range mark {
@@ -525,14 +823,14 @@ func validateCSR(name string, c csr, rows, edges int, rowOf func(int32) int32, m
 	for r := int32(0); r < int32(rows); r++ {
 		for _, e := range c.idx[c.off[r]:c.off[r+1]] {
 			if e < 0 || int(e) >= edges {
-				return corrupt("%s: row %d: edge index %d out of range [0,%d)", name, r, e, edges)
+				return fmt.Errorf("%s: row %d: edge index %d out of range [0,%d)", name, r, e, edges)
 			}
 			if mark[e] {
-				return corrupt("%s: edge %d indexed twice", name, e)
+				return fmt.Errorf("%s: edge %d indexed twice", name, e)
 			}
 			mark[e] = true
 			if rowOf(e) != r {
-				return corrupt("%s: edge %d filed under row %d, belongs to row %d", name, e, r, rowOf(e))
+				return fmt.Errorf("%s: edge %d filed under row %d, belongs to row %d", name, e, r, rowOf(e))
 			}
 		}
 	}
@@ -545,64 +843,139 @@ func validateCSR(name string, c csr, rows, edges int, rowOf func(int32) int32, m
 func ascending(name string, xs []string) error {
 	for i := 1; i < len(xs); i++ {
 		if xs[i-1] >= xs[i] {
-			return corrupt("%s table not strictly ascending at %d (%q >= %q)", name, i, xs[i-1], xs[i])
+			return fmt.Errorf("%s table not strictly ascending at %d (%q >= %q)", name, i, xs[i-1], xs[i])
 		}
 	}
+	return nil
+}
+
+// validateStructure runs the full cross-section validation over an
+// assembled snapshot: every symbol in range, supports non-negative,
+// and all four CSR indexes exact permutations filed under the right
+// rows. Shared by the copy loaders (eagerly) and Snapshot.Verify (the
+// eager path over a mapped snapshot); errors are attributed to the
+// section that owns the violated invariant via offs (nil is fine: the
+// offsets then report as 0).
+func validateStructure(s *Snapshot, offs map[uint32]int64) error {
+	off := func(sec uint32) int64 { return offs[sec] }
+	nn, ne := len(s.ids), len(s.eHead)
+	for i := 0; i < ne; i++ {
+		if h := s.eHead[i]; h < 0 || int(h) >= nn {
+			return secErr(secEdgeHead, off(secEdgeHead),
+				fmt.Errorf("edge %d: head symbol %d out of range [0,%d)", i, h, nn))
+		}
+		if t := s.eTail[i]; t < 0 || int(t) >= nn {
+			return secErr(secEdgeTail, off(secEdgeTail),
+				fmt.Errorf("edge %d: tail symbol %d out of range [0,%d)", i, t, nn))
+		}
+		if r := s.eRel[i]; r < 0 || int(r) >= len(s.rels) {
+			return secErr(secEdgeRel, off(secEdgeRel),
+				fmt.Errorf("edge %d: relation symbol %d out of range [0,%d)", i, r, len(s.rels)))
+		}
+		if d := s.eDom[i]; d < 0 || int(d) >= len(s.doms) {
+			return secErr(secEdgeDom, off(secEdgeDom),
+				fmt.Errorf("edge %d: domain symbol %d out of range [0,%d)", i, d, len(s.doms)))
+		}
+		if b := s.eBeh[i]; int(b) >= len(s.behTable) {
+			return secErr(secEdgeBeh, off(secEdgeBeh),
+				fmt.Errorf("edge %d: behavior index %d out of range [0,%d)", i, b, len(s.behTable)))
+		}
+		if s.eSup[i] < 0 {
+			return secErr(secEdgeSup, off(secEdgeSup),
+				fmt.Errorf("edge %d: negative support %d", i, s.eSup[i]))
+		}
+	}
+	for i, ix := range s.ntypes {
+		if int(ix) >= len(s.ntypeTable) {
+			return secErr(secNodeTypeIx, off(secNodeTypeIx),
+				fmt.Errorf("node %d: type index %d out of range [0,%d)", i, ix, len(s.ntypeTable)))
+		}
+	}
+	mark := make([]bool, ne)
+	type csrCheck struct {
+		name   string
+		c      csr
+		rows   int
+		rowOf  func(int32) int32
+		idxSec uint32
+	}
+	for _, cc := range []csrCheck{
+		{"byHead", s.byHead, nn, func(e int32) int32 { return s.eHead[e] }, secHeadIdx},
+		{"byTail", s.byTail, nn, func(e int32) int32 { return s.eTail[e] }, secTailIdx},
+		{"byRel", s.byRel, len(s.rels), func(e int32) int32 { return s.eRel[e] }, secRelIdx},
+		{"byDom", s.byDom, len(s.doms), func(e int32) int32 { return s.eDom[e] }, secDomIdx},
+	} {
+		if err := validateCSR(cc.name, cc.c, cc.rows, ne, cc.rowOf, mark); err != nil {
+			return secErr(cc.idxSec, off(cc.idxSec), err)
+		}
+	}
+	runtime.KeepAlive(s)
 	return nil
 }
 
 // buildSnapshot assembles and validates the Snapshot from parsed
 // section bodies. Everything that could later index out of range is
 // checked here.
-func buildSnapshot(bodies map[uint32][]byte) (*Snapshot, error) {
+func buildSnapshot(bodies map[uint32][]byte, offs map[uint32]int64) (*Snapshot, error) {
 	s := &Snapshot{}
 	var err error
-	if s.ids, err = parseStringList(secNodeIDs, bodies[secNodeIDs]); err != nil {
-		return nil, err
+	wrap := func(sec uint32, err error) error { return secErr(sec, offs[sec], err) }
+	if s.ids, err = parseStringList(bodies[secNodeIDs]); err != nil {
+		return nil, wrap(secNodeIDs, err)
 	}
-	if s.labels, err = parseStringList(secNodeLabels, bodies[secNodeLabels]); err != nil {
-		return nil, err
+	if s.labels, err = parseStringList(bodies[secNodeLabels]); err != nil {
+		return nil, wrap(secNodeLabels, err)
 	}
-	ntypeTable, err := parseStringList(secNodeTypes, bodies[secNodeTypes])
+	ntypeTable, err := parseStringList(bodies[secNodeTypes])
 	if err != nil {
-		return nil, err
+		return nil, wrap(secNodeTypes, err)
 	}
-	relStrs, err := parseStringList(secRels, bodies[secRels])
+	relStrs, err := parseStringList(bodies[secRels])
 	if err != nil {
-		return nil, err
+		return nil, wrap(secRels, err)
 	}
-	domStrs, err := parseStringList(secDoms, bodies[secDoms])
+	domStrs, err := parseStringList(bodies[secDoms])
 	if err != nil {
-		return nil, err
+		return nil, wrap(secDoms, err)
 	}
-	behTable, err := parseStringList(secBehs, bodies[secBehs])
+	behTable, err := parseStringList(bodies[secBehs])
 	if err != nil {
-		return nil, err
+		return nil, wrap(secBehs, err)
 	}
 
 	nn := len(s.ids)
+	if nn > math.MaxInt32 {
+		return nil, corrupt("%d nodes exceed the int32 symbol space", nn)
+	}
+	if len(relStrs) > math.MaxInt32 || len(domStrs) > math.MaxInt32 {
+		return nil, corrupt("%d relations / %d domains exceed the int32 symbol space",
+			len(relStrs), len(domStrs))
+	}
 	if len(s.labels) != nn {
 		return nil, corrupt("%d labels for %d nodes", len(s.labels), nn)
 	}
-	ntypeIx := bodies[secNodeTypeIx]
-	if len(ntypeIx) != nn {
-		return nil, corrupt("%d node-type indexes for %d nodes", len(ntypeIx), nn)
+	if len(bodies[secNodeTypeIx]) != nn {
+		return nil, corrupt("%d node-type indexes for %d nodes", len(bodies[secNodeTypeIx]), nn)
 	}
 	if err := ascending("node ID", s.ids); err != nil {
-		return nil, err
+		return nil, wrap(secNodeIDs, err)
+	}
+	if err := ascending("node type", ntypeTable); err != nil {
+		return nil, wrap(secNodeTypes, err)
 	}
 	if err := ascending("relation", relStrs); err != nil {
-		return nil, err
+		return nil, wrap(secRels, err)
 	}
 	if err := ascending("domain", domStrs); err != nil {
-		return nil, err
+		return nil, wrap(secDoms, err)
 	}
-	s.ntypes = make([]NodeType, nn)
-	for i, ix := range ntypeIx {
-		if int(ix) >= len(ntypeTable) {
-			return nil, corrupt("node %d: type index %d out of range [0,%d)", i, ix, len(ntypeTable))
-		}
-		s.ntypes[i] = NodeType(ntypeTable[ix])
+	if err := ascending("behavior", behTable); err != nil {
+		return nil, wrap(secBehs, err)
+	}
+	s.ntypes = bodies[secNodeTypeIx]
+	s.ntypeTable = make([]NodeType, len(ntypeTable))
+	for i, t := range ntypeTable {
+		s.ntypeTable[i] = NodeType(t)
 	}
 	s.rels = make([]relations.Relation, len(relStrs))
 	for i, r := range relStrs {
@@ -612,97 +985,69 @@ func buildSnapshot(bodies map[uint32][]byte) (*Snapshot, error) {
 	for i, d := range domStrs {
 		s.doms[i] = catalog.Category(d)
 	}
+	s.behTable = make([]know.BehaviorType, len(behTable))
+	for i, b := range behTable {
+		s.behTable[i] = know.BehaviorType(b)
+	}
 
-	if s.eHead, err = parseI32s(secEdgeHead, bodies[secEdgeHead]); err != nil {
-		return nil, err
+	if s.eHead, err = parseI32s(bodies[secEdgeHead]); err != nil {
+		return nil, wrap(secEdgeHead, err)
 	}
-	if s.eTail, err = parseI32s(secEdgeTail, bodies[secEdgeTail]); err != nil {
-		return nil, err
+	if s.eTail, err = parseI32s(bodies[secEdgeTail]); err != nil {
+		return nil, wrap(secEdgeTail, err)
 	}
-	if s.eRel, err = parseI32s(secEdgeRel, bodies[secEdgeRel]); err != nil {
-		return nil, err
+	if s.eRel, err = parseI32s(bodies[secEdgeRel]); err != nil {
+		return nil, wrap(secEdgeRel, err)
 	}
-	if s.eDom, err = parseI32s(secEdgeDom, bodies[secEdgeDom]); err != nil {
-		return nil, err
+	if s.eDom, err = parseI32s(bodies[secEdgeDom]); err != nil {
+		return nil, wrap(secEdgeDom, err)
 	}
-	if s.eSup, err = parseI32s(secEdgeSup, bodies[secEdgeSup]); err != nil {
-		return nil, err
+	if s.eSup, err = parseI32s(bodies[secEdgeSup]); err != nil {
+		return nil, wrap(secEdgeSup, err)
 	}
-	if s.ePla, err = parseF64s(secEdgePla, bodies[secEdgePla]); err != nil {
-		return nil, err
+	if s.ePla, err = parseF64s(bodies[secEdgePla]); err != nil {
+		return nil, wrap(secEdgePla, err)
 	}
-	if s.eTyp, err = parseF64s(secEdgeTyp, bodies[secEdgeTyp]); err != nil {
-		return nil, err
+	if s.eTyp, err = parseF64s(bodies[secEdgeTyp]); err != nil {
+		return nil, wrap(secEdgeTyp, err)
 	}
 	ne := len(s.eHead)
-	behIx := bodies[secEdgeBeh]
+	s.eBeh = bodies[secEdgeBeh]
 	for what, n := range map[string]int{
 		"tail symbols": len(s.eTail), "relation symbols": len(s.eRel),
 		"domain symbols": len(s.eDom), "supports": len(s.eSup),
 		"plausibility scores": len(s.ePla), "typicality scores": len(s.eTyp),
-		"behavior indexes": len(behIx),
+		"behavior indexes": len(s.eBeh),
 	} {
 		if n != ne {
 			return nil, corrupt("%d %s for %d edges", n, what, ne)
 		}
 	}
-	s.eBeh = make([]know.BehaviorType, ne)
-	for i := 0; i < ne; i++ {
-		if h := s.eHead[i]; h < 0 || int(h) >= nn {
-			return nil, corrupt("edge %d: head symbol %d out of range [0,%d)", i, h, nn)
-		}
-		if t := s.eTail[i]; t < 0 || int(t) >= nn {
-			return nil, corrupt("edge %d: tail symbol %d out of range [0,%d)", i, t, nn)
-		}
-		if r := s.eRel[i]; r < 0 || int(r) >= len(s.rels) {
-			return nil, corrupt("edge %d: relation symbol %d out of range [0,%d)", i, r, len(s.rels))
-		}
-		if d := s.eDom[i]; d < 0 || int(d) >= len(s.doms) {
-			return nil, corrupt("edge %d: domain symbol %d out of range [0,%d)", i, d, len(s.doms))
-		}
-		if b := behIx[i]; int(b) >= len(behTable) {
-			return nil, corrupt("edge %d: behavior index %d out of range [0,%d)", i, b, len(behTable))
-		}
-		if s.eSup[i] < 0 {
-			return nil, corrupt("edge %d: negative support %d", i, s.eSup[i])
-		}
-		s.eBeh[i] = know.BehaviorType(behTable[behIx[i]])
-	}
 
-	readCSR := func(name string, offSec, idxSec uint32) (csr, error) {
-		off, err := parseI32s(offSec, bodies[offSec])
+	readCSR := func(offSec, idxSec uint32) (csr, error) {
+		off, err := parseI32s(bodies[offSec])
 		if err != nil {
-			return csr{}, err
+			return csr{}, wrap(offSec, err)
 		}
-		idx, err := parseI32s(idxSec, bodies[idxSec])
+		idx, err := parseI32s(bodies[idxSec])
 		if err != nil {
-			return csr{}, err
+			return csr{}, wrap(idxSec, err)
 		}
 		return csr{off: off, idx: idx}, nil
 	}
-	if s.byHead, err = readCSR("byHead", secHeadOff, secHeadIdx); err != nil {
+	if s.byHead, err = readCSR(secHeadOff, secHeadIdx); err != nil {
 		return nil, err
 	}
-	if s.byTail, err = readCSR("byTail", secTailOff, secTailIdx); err != nil {
+	if s.byTail, err = readCSR(secTailOff, secTailIdx); err != nil {
 		return nil, err
 	}
-	if s.byRel, err = readCSR("byRel", secRelOff, secRelIdx); err != nil {
+	if s.byRel, err = readCSR(secRelOff, secRelIdx); err != nil {
 		return nil, err
 	}
-	if s.byDom, err = readCSR("byDom", secDomOff, secDomIdx); err != nil {
+	if s.byDom, err = readCSR(secDomOff, secDomIdx); err != nil {
 		return nil, err
 	}
-	mark := make([]bool, ne)
-	if err := validateCSR("byHead", s.byHead, nn, ne, func(e int32) int32 { return s.eHead[e] }, mark); err != nil {
-		return nil, err
-	}
-	if err := validateCSR("byTail", s.byTail, nn, ne, func(e int32) int32 { return s.eTail[e] }, mark); err != nil {
-		return nil, err
-	}
-	if err := validateCSR("byRel", s.byRel, len(s.rels), ne, func(e int32) int32 { return s.eRel[e] }, mark); err != nil {
-		return nil, err
-	}
-	if err := validateCSR("byDom", s.byDom, len(s.doms), ne, func(e int32) int32 { return s.eDom[e] }, mark); err != nil {
+	if err := validateStructure(s, offs); err != nil {
 		return nil, err
 	}
 
@@ -720,18 +1065,24 @@ func buildSnapshot(bodies map[uint32][]byte) (*Snapshot, error) {
 	for i, d := range s.doms {
 		s.domSym[d] = int32(i)
 	}
-	s.scratch.New = func() any { return &relatedScratch{} }
+	s.bindDerived()
 	return s, nil
 }
 
 // WriteSnapshotFile packs the snapshot to path, fsync-free but with
 // every write and close error surfaced.
 func WriteSnapshotFile(path string, s *Snapshot) error {
+	return WriteSnapshotFileVersion(path, s, snapshotVersion)
+}
+
+// WriteSnapshotFileVersion packs the snapshot to path in an explicit
+// format version (see WriteSnapshotVersion).
+func WriteSnapshotFileVersion(path string, s *Snapshot, version uint32) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("kg: write snapshot: %w", err)
 	}
-	if err := s.WriteSnapshot(f); err != nil {
+	if err := s.WriteSnapshotVersion(f, version); err != nil {
 		f.Close() //cosmo:lint-ignore dropped-error already on the error path; the write error is the root cause
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -196,21 +197,51 @@ func TestReadSnapshotRejectsFutureVersion(t *testing.T) {
 
 // TestReadSnapshotCorruption flips one byte at a time through the whole
 // file and truncates it at every length: every damaged input must be
-// rejected with an error (never a panic), and the checksum guarantees a
-// single flipped byte can never decode silently.
+// rejected with an error (never a panic), the checksums guarantee a
+// single flipped byte can never decode silently, and a flip inside a
+// section body must be attributed to exactly that section (id and
+// offset) via *SectionError.
 func TestReadSnapshotCorruption(t *testing.T) {
 	var buf bytes.Buffer
 	if err := buildTestGraph(t).Freeze().WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()
+	sects, err := parseTableV2(valid[v2HeaderLen : v2HeaderLen+len(sectionOrder)*v2TableEntryLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectionAt := func(pos int) (sectV2, bool) {
+		for _, s := range sects {
+			if uint64(pos) >= s.off && uint64(pos) < s.off+s.length {
+				return s, true
+			}
+		}
+		return sectV2{}, false
+	}
 	// Byte flips; skip the magic (flips there yield ErrSnapshotMagic,
-	// covered above) but include version, table, bodies and footer.
+	// covered above) but include version, table, seal, padding and
+	// bodies.
 	for pos := len(snapshotMagic); pos < len(valid); pos++ {
 		b := append([]byte(nil), valid...)
 		b[pos] ^= 0x5A
-		if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil {
+		_, err := ReadSnapshot(bytes.NewReader(b))
+		if err == nil {
 			t.Fatalf("flip at byte %d decoded successfully", pos)
+		}
+		if want, inBody := sectionAt(pos); inBody {
+			var se *SectionError
+			if !errors.As(err, &se) {
+				t.Fatalf("flip at byte %d (section %s): err = %v, want *SectionError",
+					pos, SectionName(want.id), err)
+			}
+			if se.Section != want.id || se.Offset != int64(want.off) {
+				t.Fatalf("flip at byte %d attributed to section %s @%d, want %s @%d",
+					pos, SectionName(se.Section), se.Offset, SectionName(want.id), want.off)
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("SectionError at byte %d does not wrap ErrSnapshotCorrupt: %v", pos, err)
+			}
 		}
 	}
 	// Truncations.
@@ -221,11 +252,14 @@ func TestReadSnapshotCorruption(t *testing.T) {
 	}
 }
 
-// FuzzReadSnapshot asserts ReadSnapshot never panics and that any input
-// it accepts supports the query APIs without crashing. Wired into the
-// CI fuzz smoke.
+// FuzzReadSnapshot asserts neither loader ever panics on arbitrary
+// input: ReadSnapshot (both format versions) must error or yield a
+// fully queryable snapshot, and MapSnapshot must never panic at
+// construction — its lazy contract allows a first-touch panic only on
+// a section whose checksum lies, so queries are exercised exactly when
+// Verify vouches for the whole file. Wired into the CI fuzz smoke,
+// which runs it on the native and cosmo_nommap flavors.
 func FuzzReadSnapshot(f *testing.F) {
-	var buf bytes.Buffer
 	g := New()
 	g.AddNode(Node{ID: "i:used_for:camping", Type: NodeIntention, Label: "camping"})
 	g.AddNode(Node{ID: "p:P1", Type: NodeProduct, Label: "tent"})
@@ -236,24 +270,40 @@ func FuzzReadSnapshot(f *testing.F) {
 			f.Fatal(err)
 		}
 	}
-	if err := g.Freeze().WriteSnapshot(&buf); err != nil {
-		f.Fatal(err)
+	for _, version := range []uint32{1, 2} {
+		var buf bytes.Buffer
+		if err := g.Freeze().WriteSnapshotVersion(&buf, version); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
 	}
-	f.Add(buf.Bytes())
 	f.Add([]byte(snapshotMagic))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, err := ReadSnapshot(bytes.NewReader(data))
+		query := func(s *Snapshot) {
+			for _, n := range s.Nodes() {
+				s.IntentionsFor(n.ID)
+				s.RelatedProducts(n.ID, 3)
+			}
+			s.Edges()
+			s.ComputeStats()
+			s.BuildHierarchy(1)
+		}
+		if s, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
+			// Accepted input: the snapshot must be fully queryable.
+			query(s)
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.cosmo")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := MapSnapshotFile(path)
 		if err != nil {
 			return
 		}
-		// Accepted input: the snapshot must be fully queryable.
-		for _, n := range s.Nodes() {
-			s.IntentionsFor(n.ID)
-			s.RelatedProducts(n.ID, 3)
+		defer s.Close()
+		if s.Verify() == nil {
+			query(s)
 		}
-		s.Edges()
-		s.ComputeStats()
-		s.BuildHierarchy(1)
 	})
 }

@@ -1,0 +1,569 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cosmo/internal/catalog"
+	"cosmo/internal/relations"
+)
+
+// writeV2File freezes g (if s is nil) and packs it to a temp v2 file.
+func writeV2File(t *testing.T, s *Snapshot) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "kg.cosmo")
+	if err := WriteSnapshotFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMapSnapshotEquivalence is the randomized mapped-vs-heap property
+// test: every query API on a MapSnapshot-loaded snapshot must be
+// DeepEqual to the heap-loaded (ReadSnapshot) and original (Freeze)
+// snapshots — same ordering, bitwise-equal scores.
+func TestMapSnapshotEquivalence(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9100 + trial)))
+			want := randomGraph(t, rng, 40+rng.Intn(200)).Freeze()
+			path := writeV2File(t, want)
+			mapped, err := MapSnapshotFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mapped.Close()
+			if err := mapped.Verify(); err != nil {
+				t.Fatalf("Verify on a pristine mapped snapshot: %v", err)
+			}
+			assertSnapshotsEqual(t, want, mapped)
+
+			heap, err := ReadSnapshotFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSnapshotsEqual(t, heap, mapped)
+		})
+	}
+}
+
+// TestMapSnapshotLazyEquivalence re-runs the equivalence check without
+// the eager Verify, so every section really is validated on its first
+// query touch.
+func TestMapSnapshotLazyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9200))
+	want := randomGraph(t, rng, 150).Freeze()
+	mapped, err := MapSnapshotFile(writeV2File(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	assertSnapshotsEqual(t, want, mapped)
+}
+
+// TestMapSnapshotExportEquivalence pins that a mapped snapshot exports
+// (JSONL, TSV, and a byte-identical v2 re-pack) exactly like the heap
+// one.
+func TestMapSnapshotExportEquivalence(t *testing.T) {
+	want := buildTestGraph(t).Freeze()
+	path := writeV2File(t, want)
+	mapped, err := MapSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	var wj, mj bytes.Buffer
+	if err := want.WriteJSONL(&wj); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.WriteJSONL(&mj); err != nil {
+		t.Fatal(err)
+	}
+	if wj.String() != mj.String() {
+		t.Fatal("JSONL export differs between heap and mapped snapshots")
+	}
+	var repacked bytes.Buffer
+	if err := mapped.WriteSnapshot(&repacked); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, repacked.Bytes()) {
+		t.Fatal("re-packing a mapped snapshot is not byte-identical")
+	}
+}
+
+// TestMapSnapshotEmpty maps the degenerate empty snapshot.
+func TestMapSnapshotEmpty(t *testing.T) {
+	mapped, err := MapSnapshotFile(writeV2File(t, New().Freeze()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if mapped.NumNodes() != 0 || mapped.NumEdges() != 0 {
+		t.Fatalf("empty mapped snapshot: %d nodes %d edges", mapped.NumNodes(), mapped.NumEdges())
+	}
+	if err := mapped.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapSnapshotRejectsV1 pins the compat rule: MapSnapshot serves v2
+// only; v1 artifacts go through the ReadSnapshot copy path.
+func TestMapSnapshotRejectsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.cosmo")
+	if err := WriteSnapshotFileVersion(path, buildTestGraph(t).Freeze(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapSnapshotFile(path); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("MapSnapshot(v1) = %v, want ErrSnapshotVersion", err)
+	}
+	// The copy reader still accepts the same file.
+	if _, err := ReadSnapshotFile(path); err != nil {
+		t.Fatalf("ReadSnapshot(v1) = %v", err)
+	}
+}
+
+// TestV1WriterRoundTrip keeps the legacy writer honest now that the
+// default format is v2: an explicit v1 pack must still round-trip
+// through the version-dispatching reader.
+func TestV1WriterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9300))
+	want := randomGraph(t, rng, 120).Freeze()
+	var buf bytes.Buffer
+	if err := want.WriteSnapshotVersion(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, want, got)
+}
+
+// sectionRange looks up a section's [off, off+len) window in a packed
+// v2 byte image via its sealed table.
+func sectionRange(t *testing.T, valid []byte, id uint32) (int, int) {
+	t.Helper()
+	sects, err := parseTableV2(valid[v2HeaderLen : v2HeaderLen+len(sectionOrder)*v2TableEntryLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sects {
+		if s.id == id {
+			return int(s.off), int(s.off + s.length)
+		}
+	}
+	t.Fatalf("section %d not in table", id)
+	return 0, 0
+}
+
+// TestMapSnapshotLazyFailsClosed is the lazy-validation contract: a
+// byte flip inside a lazily-validated section must not stop MapSnapshot
+// from constructing the snapshot, but the first query that touches the
+// damaged section must panic with a *SectionError naming it — and
+// Verify must report the same section as an error, not a panic.
+func TestMapSnapshotLazyFailsClosed(t *testing.T) {
+	want := buildTestGraph(t).Freeze()
+	path := writeV2File(t, want)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := want.Nodes()
+
+	// One toucher per lazily-validated section group, driving it through
+	// the public query API.
+	touch := map[uint32]func(s *Snapshot){
+		secNodeTypeIx: func(s *Snapshot) { s.Nodes() },
+		secEdgeHead:   func(s *Snapshot) { s.Edges() },
+		secEdgeTail:   func(s *Snapshot) { s.Edges() },
+		secEdgeRel:    func(s *Snapshot) { s.Edges() },
+		secEdgeDom:    func(s *Snapshot) { s.Edges() },
+		secEdgeBeh:    func(s *Snapshot) { s.Edges() },
+		secEdgeSup:    func(s *Snapshot) { s.Edges() },
+		secEdgePla:    func(s *Snapshot) { s.Edges() },
+		secEdgeTyp:    func(s *Snapshot) { s.Edges() },
+		secHeadOff: func(s *Snapshot) {
+			for _, n := range heads {
+				s.IntentionsFor(n.ID)
+			}
+		},
+		secHeadIdx: func(s *Snapshot) {
+			for _, n := range heads {
+				s.IntentionsFor(n.ID)
+			}
+		},
+		secTailOff: func(s *Snapshot) {
+			for _, n := range heads {
+				s.EdgesTo(n.ID)
+			}
+		},
+		secTailIdx: func(s *Snapshot) {
+			for _, n := range heads {
+				s.EdgesTo(n.ID)
+			}
+		},
+		secRelOff: func(s *Snapshot) {
+			for _, r := range relations.All() {
+				s.EdgesByRelation(r)
+			}
+		},
+		secRelIdx: func(s *Snapshot) {
+			for _, r := range relations.All() {
+				s.EdgesByRelation(r)
+			}
+		},
+		secDomOff: func(s *Snapshot) { s.ComputeStats() },
+		secDomIdx: func(s *Snapshot) { s.ComputeStats() },
+	}
+	for id, fn := range touch {
+		lo, hi := sectionRange(t, valid, id)
+		if lo == hi {
+			continue // empty section: nothing to flip
+		}
+		t.Run(SectionName(id), func(t *testing.T) {
+			bad := append([]byte(nil), valid...)
+			bad[(lo+hi)/2] ^= 0x5A
+			badPath := filepath.Join(t.TempDir(), "bad.cosmo")
+			if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := MapSnapshotFile(badPath)
+			if err != nil {
+				t.Fatalf("MapSnapshot must defer section validation, got eager error %v", err)
+			}
+			defer s.Close()
+
+			var verr error
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatal("query over the corrupted section did not fail")
+					}
+					var ok bool
+					if verr, ok = r.(error); !ok {
+						t.Fatalf("panic value %v is not an error", r)
+					}
+				}()
+				fn(s)
+			}()
+			var se *SectionError
+			if !errors.As(verr, &se) || !errors.Is(verr, ErrSnapshotCorrupt) {
+				t.Fatalf("lazy failure %v, want a *SectionError wrapping ErrSnapshotCorrupt", verr)
+			}
+			if se.Section != id {
+				t.Fatalf("lazy failure attributed to section %s, want %s",
+					SectionName(se.Section), SectionName(id))
+			}
+
+			// Verify on a fresh mapping reports the same section, as an
+			// error rather than a panic.
+			s2, err := MapSnapshotFile(badPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			se = nil
+			if verr := s2.Verify(); !errors.As(verr, &se) || se.Section != id {
+				t.Fatalf("Verify() = %v, want *SectionError for %s", verr, SectionName(id))
+			}
+		})
+	}
+}
+
+// TestMapSnapshotEagerRejections covers the damage classes MapSnapshot
+// must reject at construction time, never panicking — header and table
+// flips, structural string-table damage, and every truncation — plus
+// the string-content flips that defer to the first query's checksum.
+func TestMapSnapshotEagerRejections(t *testing.T) {
+	valid, err := os.ReadFile(writeV2File(t, buildTestGraph(t).Freeze()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tryMap := func(t *testing.T, b []byte) (*Snapshot, error) {
+		t.Helper()
+		p := filepath.Join(dir, "case.cosmo")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return MapSnapshotFile(p)
+	}
+	// Header, table and seal: all eagerly checksummed.
+	for pos := len(snapshotMagic); pos < int(v2BodyStart()); pos++ {
+		b := append([]byte(nil), valid...)
+		b[pos] ^= 0x5A
+		if s, err := tryMap(t, b); err == nil {
+			s.Close()
+			t.Fatalf("flip at header/table byte %d mapped successfully", pos)
+		}
+	}
+	// String sections: decoded eagerly (so structural damage — counts,
+	// length prefixes, sort order — errors at map time) but
+	// checksummed lazily. Every flip must be caught one way or the
+	// other, attributed to the flipped section: either an eager error,
+	// or a panic out of the first query that reads string content.
+	for _, id := range []uint32{secNodeIDs, secNodeLabels, secNodeTypes, secRels, secDoms, secBehs} {
+		lo, hi := sectionRange(t, valid, id)
+		for _, pos := range []int{lo, (lo + hi) / 2, hi - 1} {
+			b := append([]byte(nil), valid...)
+			b[pos] ^= 0x5A
+			s, err := tryMap(t, b)
+			if err != nil {
+				var se *SectionError
+				if errors.As(err, &se) && se.Section != id {
+					t.Fatalf("flip in %s attributed to %s", SectionName(id), SectionName(se.Section))
+				}
+				continue
+			}
+			func() {
+				defer s.Close()
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("flip in string section %s (byte %d) served queries", SectionName(id), pos)
+					}
+					verr, ok := r.(error)
+					var se *SectionError
+					if !ok || !errors.As(verr, &se) || !errors.Is(verr, ErrSnapshotCorrupt) || se.Section != id {
+						t.Fatalf("flip in %s: lazy failure %v, want *SectionError for it", SectionName(id), r)
+					}
+				}()
+				s.Nodes() // reads every string table's checksum group
+			}()
+		}
+	}
+	// Truncations: the table/size cross-check catches every cut.
+	for cut := 0; cut < len(valid); cut += 7 {
+		if s, err := tryMap(t, valid[:cut]); err == nil {
+			s.Close()
+			t.Fatalf("truncation to %d bytes mapped successfully", cut)
+		}
+	}
+	// Trailing garbage.
+	if s, err := tryMap(t, append(append([]byte(nil), valid...), 0xEE)); err == nil {
+		s.Close()
+		t.Fatal("trailing byte mapped successfully")
+	}
+}
+
+// TestMapSnapshotZeroAlloc extends the hot-path guarantee to mapped
+// memory: IntentionsFor iteration and the pooled RelatedSeq walk stay
+// allocation-free when every array they read aliases the mmap region.
+func TestMapSnapshotZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; the alloc guard runs in the regular suite")
+	}
+	rng := rand.New(rand.NewSource(7))
+	s, err := MapSnapshotFile(writeV2File(t, randomGraph(t, rng, 300).Freeze()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var intHead string
+	var relHead []byte
+	bestInt, bestRel := 0, 0
+	for _, n := range s.Nodes() {
+		if l := s.IntentionsFor(n.ID).Len(); l > bestInt {
+			bestInt, intHead = l, n.ID
+		}
+		if l := len(s.RelatedProducts(n.ID, 1<<20)); l > bestRel {
+			bestRel, relHead = l, []byte(n.ID)
+		}
+	}
+	if bestInt == 0 || bestRel == 0 {
+		t.Fatal("no head with intentions and related products")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		seq := s.IntentionsFor(intHead)
+		for i := 0; i < seq.Len(); i++ {
+			allocSink += seq.At(i).TypicalScore
+		}
+	}); allocs != 0 {
+		t.Fatalf("mapped IntentionsFor allocates %v per run, want 0", allocs)
+	}
+	s.RelatedSeq(relHead, 10).Release() // warm the pool
+	if allocs := testing.AllocsPerRun(200, func() {
+		seq := s.RelatedSeq(relHead, 10)
+		for i := 0; i < seq.Len(); i++ {
+			r := seq.At(i)
+			allocSink += r.Score + float64(len(r.Via))
+		}
+		seq.Release()
+	}); allocs != 0 {
+		t.Fatalf("mapped RelatedSeq lookup allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestMappingLifetime pins the refcount/Close semantics: Close releases
+// the mapping exactly once and later Closes are no-ops.
+func TestMappingLifetime(t *testing.T) {
+	s, err := MapSnapshotFile(writeV2File(t, buildTestGraph(t).Freeze()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.mapping
+	if m == nil {
+		t.Fatal("mapped snapshot has no mapping")
+	}
+	if !m.Mapped() || m.Size() == 0 {
+		t.Fatal("mapping not live after load")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Fatal("mapping still live after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapSnapshotRetirementRace is the RCU story end to end: readers
+// load the current snapshot from an atomic pointer and query it while
+// a refresher keeps swapping in freshly mapped snapshots and dropping
+// the retired ones, with the GC (and thus the munmap finalizer) forced
+// in between. Readers must never observe unmapped memory — run with
+// -race in CI to catch ordering bugs as well.
+func TestMapSnapshotRetirementRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9400))
+	paths := make([]string, 3)
+	ids := map[string]bool{}
+	for i := range paths {
+		g := randomGraph(t, rng, 80+40*i)
+		s := g.Freeze()
+		paths[i] = writeV2File(t, s)
+		for _, n := range s.Nodes() {
+			ids[n.ID] = true
+		}
+	}
+	first, err := MapSnapshotFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur atomic.Pointer[Snapshot]
+	cur.Store(first)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s := cur.Load()
+				for id := range ids {
+					seq := s.IntentionsFor(id)
+					for i := 0; i < seq.Len(); i++ {
+						_ = seq.At(i)
+					}
+					s.RelatedSeqString(id, 5).Release()
+				}
+				_ = s.ComputeStats()
+			}
+		}()
+	}
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for i := 1; time.Now().Before(deadline); i++ {
+		next, err := MapSnapshotFile(paths[i%len(paths)])
+		if err != nil {
+			t.Error(err)
+			break
+		}
+		cur.Store(next) // the retired snapshot is now unreachable from here
+		runtime.GC()    // provoke the munmap finalizer under live readers
+	}
+	stop.Store(true)
+	wg.Wait()
+	cur.Load().Close()
+}
+
+// TestSnapshotStamp pins the reload-skip fingerprint: same artifact →
+// equal stamps; rewritten-but-identical content → SameContent; changed
+// content → different TableCRC; v1 files carry no fingerprint.
+func TestSnapshotStamp(t *testing.T) {
+	g := buildTestGraph(t)
+	s := g.Freeze()
+	path := filepath.Join(t.TempDir(), "kg.cosmo")
+	if err := WriteSnapshotFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	a, err := StampSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TableCRC == 0 {
+		t.Fatal("v2 stamp has no table fingerprint")
+	}
+	b, err := StampSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("stamps of an untouched file differ: %+v vs %+v", a, b)
+	}
+
+	// Byte-identical rewrite with a different mtime: content fingerprint
+	// holds even though the stat identity moved.
+	if err := WriteSnapshotFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	later := a.ModTime.Add(3 * time.Second)
+	if err := os.Chtimes(path, later, later); err != nil {
+		t.Fatal(err)
+	}
+	c, err := StampSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("stamps equal across an mtime change")
+	}
+	if !a.SameContent(c) {
+		t.Fatalf("identical content not recognized: %+v vs %+v", a, c)
+	}
+
+	// Different content: fingerprint must move.
+	g2 := buildTestGraph(t)
+	if err := g2.AddEdge(Edge{Head: "p:P1", Relation: relations.CapableOf, Tail: "i:used_for:camping",
+		Domain: catalog.Sports, PlausibleScore: 0.5, TypicalScore: 0.5, Support: 1}); err == nil {
+		if err := WriteSnapshotFile(path, g2.Freeze()); err != nil {
+			t.Fatal(err)
+		}
+		d, err := StampSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SameContent(d) {
+			t.Fatal("different content shares a fingerprint")
+		}
+	}
+
+	// v1 artifacts: stat identity only.
+	v1 := filepath.Join(t.TempDir(), "v1.cosmo")
+	if err := WriteSnapshotFileVersion(v1, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	e, err := StampSnapshotFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TableCRC != 0 {
+		t.Fatalf("v1 stamp carries a v2 fingerprint: %+v", e)
+	}
+}

@@ -3,6 +3,7 @@ package kg
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -30,21 +31,33 @@ import (
 // relation), which fixes the accumulation order RelatedProducts and the
 // legacy Graph walk share — their scores are bitwise identical.
 type Snapshot struct {
-	// Symbol table: sym -> ID / label / type, ascending-ID order.
-	ids    []string
-	labels []string
-	ntypes []NodeType
-	sym    map[string]int32
+	// Symbol table: sym -> ID / label / type, ascending-ID order. Node
+	// types are interned: ntypes[i] indexes ntypeTable, a tiny sorted
+	// closed set — the same u8-over-table layout the binary format uses,
+	// so the mmap loader aliases the index array straight off the file.
+	ids        []string
+	labels     []string
+	ntypes     []uint8
+	ntypeTable []NodeType
+	sym        map[string]int32
 
 	// Edge struct-of-arrays, in Graph.Edges() (key-sorted) order.
+	// Behaviors are interned like node types: eBeh[i] indexes behTable.
 	eHead []int32
 	eTail []int32
 	eRel  []int32 // index into rels
 	eDom  []int32 // index into doms
-	eBeh  []know.BehaviorType
+	eBeh  []uint8 // index into behTable
 	ePla  []float64
 	eTyp  []float64
 	eSup  []int32
+	behTable []know.BehaviorType
+
+	// prodIx and searchBuyIx cache the interned indexes of NodeProduct
+	// and know.SearchBuy (-1 when absent) so the hot walks compare one
+	// byte instead of a string per edge.
+	prodIx      int32
+	searchBuyIx int32
 
 	// Interned relation and domain tables, ascending order.
 	rels   []relations.Relation
@@ -60,6 +73,13 @@ type Snapshot struct {
 	// scratch pools RelatedProducts accumulators so the two-hop walk
 	// allocates only its result. Bounded by the pool's GC semantics.
 	scratch sync.Pool
+
+	// Mapped-snapshot state (nil for Freeze/ReadSnapshot snapshots):
+	// lazy tracks which aliased sections have passed their checksum,
+	// mapping pins the mmap'd region for as long as this snapshot is
+	// reachable (see mapping.go for the RCU-retirement story).
+	lazy    *sectionChecks
+	mapping *Mapping
 }
 
 // csr is a compressed sparse row index: row r's entries are
@@ -157,13 +177,17 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	}
 	sort.Strings(s.ids)
 	s.labels = make([]string, len(s.ids))
-	s.ntypes = make([]NodeType, len(s.ids))
+	rawTypes := make([]NodeType, len(s.ids))
 	s.sym = make(map[string]int32, len(s.ids))
 	for i, id := range s.ids {
 		n := g.nodes[id]
 		s.labels[i] = n.Label
-		s.ntypes[i] = n.Type
+		rawTypes[i] = n.Type
 		s.sym[id] = sym32(i)
+	}
+	var err error
+	if s.ntypeTable, s.ntypes, err = internSyms(rawTypes); err != nil {
+		return nil, err
 	}
 
 	// Relation and domain intern tables, ascending order.
@@ -195,7 +219,7 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	s.eTail = make([]int32, ne)
 	s.eRel = make([]int32, ne)
 	s.eDom = make([]int32, ne)
-	s.eBeh = make([]know.BehaviorType, ne)
+	rawBeh := make([]know.BehaviorType, ne)
 	s.ePla = make([]float64, ne)
 	s.eTyp = make([]float64, ne)
 	s.eSup = make([]int32, ne)
@@ -208,10 +232,13 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 		s.eTail[i] = s.sym[e.Tail]
 		s.eRel[i] = s.relSym[e.Relation]
 		s.eDom[i] = s.domSym[e.Domain]
-		s.eBeh[i] = e.Behavior
+		rawBeh[i] = e.Behavior
 		s.ePla[i] = e.PlausibleScore
 		s.eTyp[i] = e.TypicalScore
 		s.eSup[i] = int32(e.Support)
+	}
+	if s.behTable, s.eBeh, err = internSyms(rawBeh); err != nil {
+		return nil, err
 	}
 
 	nn := len(s.ids)
@@ -246,9 +273,57 @@ func (g *Graph) FreezeChecked() (*Snapshot, error) {
 		})
 	}
 
-	s.scratch.New = func() any { return &relatedScratch{} }
+	s.bindDerived()
 	return s, nil
 }
+
+// internSyms builds the sorted unique table over xs plus the
+// per-element u8 index into it — the in-memory twin of the binary
+// format's interned sections. The table is capped at 256 entries; node
+// and behavior types are tiny closed sets.
+func internSyms[T ~string](xs []T) (table []T, idx []uint8, err error) {
+	seen := map[T]bool{}
+	for _, s := range xs {
+		if !seen[s] {
+			seen[s] = true
+			table = append(table, s)
+		}
+	}
+	sort.Slice(table, func(i, j int) bool { return table[i] < table[j] })
+	if len(table) > 256 {
+		return nil, nil, fmt.Errorf("kg: snapshot: %d distinct interned values exceed the u8 index space", len(table))
+	}
+	pos := make(map[T]uint8, len(table))
+	for i, s := range table {
+		pos[s] = uint8(i)
+	}
+	idx = make([]uint8, len(xs))
+	for i, s := range xs {
+		idx[i] = pos[s]
+	}
+	return table, idx, nil
+}
+
+// bindDerived computes the non-serialized derivatives every loader
+// shares: the cached NodeProduct / SearchBuy intern indexes (-1 when
+// absent) and the walk scratch pool.
+func (s *Snapshot) bindDerived() {
+	s.prodIx, s.searchBuyIx = -1, -1
+	for i, t := range s.ntypeTable {
+		if t == NodeProduct {
+			s.prodIx = sym32(i)
+		}
+	}
+	for i, b := range s.behTable {
+		if b == know.SearchBuy {
+			s.searchBuyIx = sym32(i)
+		}
+	}
+	s.scratch.New = func() any { return &relatedScratch{} }
+}
+
+// nodeType resolves node i's type through the intern table.
+func (s *Snapshot) nodeType(i int32) NodeType { return s.ntypeTable[s.ntypes[i]] }
 
 // edgeAt materializes edge i. Strings come from the symbol table, so
 // this copies headers, never bytes.
@@ -257,7 +332,7 @@ func (s *Snapshot) edgeAt(i int32) Edge {
 		Head:           s.ids[s.eHead[i]],
 		Relation:       s.rels[s.eRel[i]],
 		Tail:           s.ids[s.eTail[i]],
-		Behavior:       s.eBeh[i],
+		Behavior:       s.behTable[s.eBeh[i]],
 		Domain:         s.doms[s.eDom[i]],
 		PlausibleScore: s.ePla[i],
 		TypicalScore:   s.eTyp[i],
@@ -265,13 +340,89 @@ func (s *Snapshot) edgeAt(i int32) Edge {
 	}
 }
 
+// symOf resolves a node ID to its dense symbol. Heap-built snapshots
+// (Freeze, ReadSnapshot) answer from the hash map they built; mapped
+// snapshots carry no node map — the ID table is validated strictly
+// ascending at map time, so the file itself is the index and a binary
+// search answers in O(log n) with zero start-up cost.
+//
+//cosmo:alloc-free
+func (s *Snapshot) symOf(id string) (int32, bool) {
+	if s.sym != nil {
+		i, ok := s.sym[id]
+		return i, ok
+	}
+	s.touch(maskStrings)
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.ids) || s.ids[lo] != id {
+		return 0, false
+	}
+	return int32(lo), true //cosmo:lint-ignore unchecked-narrowing the loaders cap the node count at MaxInt32
+}
+
+// symOfBytes is symOf keyed by a byte slice, allocation-free on both
+// the map path (compiler-elided conversion) and the search path
+// (byte-wise compare, no string materialized).
+//
+//cosmo:alloc-free
+func (s *Snapshot) symOfBytes(id []byte) (int32, bool) {
+	if s.sym != nil {
+		i, ok := s.sym[string(id)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+		return i, ok
+	}
+	s.touch(maskStrings)
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmpStringBytes(s.ids[mid], id) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.ids) || cmpStringBytes(s.ids[lo], id) != 0 {
+		return 0, false
+	}
+	return int32(lo), true //cosmo:lint-ignore unchecked-narrowing the loaders cap the node count at MaxInt32
+}
+
+// cmpStringBytes is strings.Compare(a, string(b)) without the
+// conversion allocation.
+func cmpStringBytes(a string, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
 // Node returns a node by ID.
 func (s *Snapshot) Node(id string) (Node, bool) {
-	i, ok := s.sym[id]
+	i, ok := s.symOf(id)
 	if !ok {
 		return Node{}, false
 	}
-	return Node{ID: s.ids[i], Type: s.ntypes[i], Label: s.labels[i]}, true
+	s.touch(maskNodeTypes)
+	return Node{ID: s.ids[i], Type: s.nodeType(i), Label: s.labels[i]}, true
 }
 
 // NumNodes returns the node count.
@@ -285,20 +436,24 @@ func (s *Snapshot) NumRelations() int { return len(s.rels) }
 
 // Nodes returns every node in deterministic (ID-sorted) order.
 func (s *Snapshot) Nodes() []Node {
+	s.touch(maskNodeTypes)
 	out := make([]Node, len(s.ids))
 	for i := range s.ids {
-		out[i] = Node{ID: s.ids[i], Type: s.ntypes[i], Label: s.labels[i]}
+		out[i] = Node{ID: s.ids[i], Type: s.nodeType(sym32(i)), Label: s.labels[i]}
 	}
+	runtime.KeepAlive(s) // aliased sections must outlive the last read (mmap-backed snapshots)
 	return out
 }
 
 // Edges returns every edge in the same deterministic (key-sorted) order
 // as Graph.Edges.
 func (s *Snapshot) Edges() []Edge {
+	s.touch(maskEdges)
 	out := make([]Edge, len(s.eHead))
 	for i := range out {
 		out[i] = s.edgeAt(sym32(i))
 	}
+	runtime.KeepAlive(s) // aliased sections must outlive the last read (mmap-backed snapshots)
 	return out
 }
 
@@ -307,26 +462,29 @@ func (s *Snapshot) collectRow(row []int32) []Edge {
 	for i, e := range row {
 		out[i] = s.edgeAt(e)
 	}
+	runtime.KeepAlive(s) // row may alias the mapped region; keep it mapped through the loop
 	return out
 }
 
 // EdgesFrom returns all edges with the given head, in the IntentionsFor
 // order (descending typicality).
 func (s *Snapshot) EdgesFrom(head string) []Edge {
-	h, ok := s.sym[head]
+	h, ok := s.symOf(head)
 	if !ok {
 		return []Edge{}
 	}
+	s.touch(maskByHead | maskEdges)
 	return s.collectRow(s.byHead.row(h))
 }
 
 // EdgesTo returns all edges pointing at the given intention tail,
 // sorted by (head, relation).
 func (s *Snapshot) EdgesTo(tail string) []Edge {
-	t, ok := s.sym[tail]
+	t, ok := s.symOf(tail)
 	if !ok {
 		return []Edge{}
 	}
+	s.touch(maskByTail | maskEdges)
 	return s.collectRow(s.byTail.row(t))
 }
 
@@ -336,6 +494,7 @@ func (s *Snapshot) EdgesByRelation(r relations.Relation) []Edge {
 	if !ok {
 		return []Edge{}
 	}
+	s.touch(maskByRel | maskEdges)
 	return s.collectRow(s.byRel.row(i))
 }
 
@@ -345,6 +504,7 @@ func (s *Snapshot) EdgesInDomain(d catalog.Category) []Edge {
 	if !ok {
 		return []Edge{}
 	}
+	s.touch(maskByDom | maskEdges)
 	return s.collectRow(s.byDom.row(i))
 }
 
@@ -379,10 +539,11 @@ func (es EdgeSeq) Edges() []Edge {
 //
 //cosmo:alloc-free
 func (s *Snapshot) IntentionsFor(head string) EdgeSeq {
-	h, ok := s.sym[head]
+	h, ok := s.symOf(head)
 	if !ok {
 		return EdgeSeq{}
 	}
+	s.touch(maskByHead | maskEdges)
 	return EdgeSeq{s: s, idx: s.byHead.row(h)}
 }
 
@@ -392,10 +553,11 @@ func (s *Snapshot) IntentionsFor(head string) EdgeSeq {
 //
 //cosmo:alloc-free
 func (s *Snapshot) IntentionsForBytes(head []byte) EdgeSeq {
-	h, ok := s.sym[string(head)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+	h, ok := s.symOfBytes(head)
 	if !ok {
 		return EdgeSeq{}
 	}
+	s.touch(maskByHead | maskEdges)
 	return EdgeSeq{s: s, idx: s.byHead.row(h)}
 }
 
@@ -404,7 +566,7 @@ func (s *Snapshot) IntentionsForBytes(head []byte) EdgeSeq {
 //
 //cosmo:alloc-free
 func (s *Snapshot) ContainsBytes(id []byte) bool {
-	_, ok := s.sym[string(id)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+	_, ok := s.symOfBytes(id)
 	return ok
 }
 
@@ -475,6 +637,7 @@ var emptyRelated = []Related{}
 //
 //cosmo:alloc-free
 func (s *Snapshot) relatedCollect(h int32, k int) *relatedScratch {
+	s.touch(maskByHead | maskByTail | maskEdges | maskNodeTypes)
 	sc := s.scratch.Get().(*relatedScratch)
 	sc.snap = s
 	sc.via = sc.via[:0]
@@ -486,7 +649,7 @@ func (s *Snapshot) relatedCollect(h int32, k int) *relatedScratch {
 		t := s.eTail[ei]
 		for _, bi := range s.byTail.row(t) {
 			bh := s.eHead[bi]
-			if bh == h || s.ntypes[bh] != NodeProduct {
+			if bh == h || int32(s.ntypes[bh]) != s.prodIx {
 				continue
 			}
 			w := s.eTyp[ei] * s.eTyp[bi] * float64(min(s.eSup[ei], s.eSup[bi]))
@@ -556,7 +719,7 @@ func (sc *relatedScratch) release() {
 //
 //cosmo:alloc-free
 func (s *Snapshot) RelatedProducts(head string, k int) []Related {
-	h, ok := s.sym[head]
+	h, ok := s.symOf(head)
 	if !ok {
 		return emptyRelated
 	}
@@ -592,7 +755,7 @@ type RelatedSeq struct {
 //
 //cosmo:alloc-free
 func (s *Snapshot) RelatedSeq(head []byte, k int) RelatedSeq {
-	h, ok := s.sym[string(head)] //cosmo:lint-ignore alloc-free map index by string(bytes) is a compiler-elided conversion
+	h, ok := s.symOfBytes(head)
 	if !ok {
 		return RelatedSeq{}
 	}
@@ -604,7 +767,7 @@ func (s *Snapshot) RelatedSeq(head []byte, k int) RelatedSeq {
 //
 //cosmo:alloc-free
 func (s *Snapshot) RelatedSeqString(head string, k int) RelatedSeq {
-	h, ok := s.sym[head]
+	h, ok := s.symOf(head)
 	if !ok {
 		return RelatedSeq{}
 	}
@@ -643,6 +806,7 @@ func (rs RelatedSeq) Release() {
 
 // ComputeStats builds graph statistics from the frozen arrays.
 func (s *Snapshot) ComputeStats() Stats {
+	s.touch(maskByDom | maskEdges)
 	st := Stats{
 		Nodes:     len(s.ids),
 		Edges:     len(s.eHead),
@@ -653,7 +817,7 @@ func (s *Snapshot) ComputeStats() Stats {
 	for di, d := range s.doms {
 		ds := DomainStats{}
 		for _, e := range s.byDom.row(sym32(di)) {
-			if s.eBeh[e] == know.SearchBuy {
+			if int32(s.eBeh[e]) == s.searchBuyIx {
 				ds.SearchBuyEdges++
 			} else {
 				ds.CoBuyEdges++
@@ -661,6 +825,7 @@ func (s *Snapshot) ComputeStats() Stats {
 		}
 		st.PerDomain[d] = ds
 	}
+	runtime.KeepAlive(s) // aliased sections must outlive the last read (mmap-backed snapshots)
 	return st
 }
 
@@ -668,6 +833,7 @@ func (s *Snapshot) ComputeStats() Stats {
 // specialization forest as Graph.BuildHierarchy (identical output: both
 // feed the shared assembler identical per-tail aggregates).
 func (s *Snapshot) BuildHierarchy(minSupport int) []*HierarchyNode {
+	s.touch(maskEdges | maskNodeTypes)
 	byTail := map[string]*tailInfo{}
 	for i := range s.eHead {
 		t := s.eTail[i]
@@ -682,9 +848,10 @@ func (s *Snapshot) BuildHierarchy(minSupport int) []*HierarchyNode {
 			byTail[tailID] = in
 		}
 		in.count += int(s.eSup[i])
-		if h := s.eHead[i]; s.ntypes[h] == NodeProduct {
+		if h := s.eHead[i]; int32(s.ntypes[h]) == s.prodIx {
 			in.products[s.labels[h]] = true
 		}
 	}
+	runtime.KeepAlive(s) // aliased sections must outlive the last read (mmap-backed snapshots)
 	return assembleHierarchy(byTail, minSupport)
 }

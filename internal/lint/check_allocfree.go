@@ -21,9 +21,10 @@ import (
 // unbounded allocation sites":
 //
 //   - no append without cap evidence in the same function (a 3-arg
-//     make, an x[:0] reslice of pooled scratch, or a slice parameter —
-//     appending to a caller-provided destination and returning it is
-//     the strconv.Append* idiom: the capacity budget lives with the
+//     make, an x[:0] reslice of pooled scratch, an unsafe.Slice view
+//     whose length the author stated, or a slice parameter — appending
+//     to a caller-provided destination and returning it is the
+//     strconv.Append* idiom: the capacity budget lives with the
 //     caller, as internal/wire's encoders rely on);
 //   - no non-constant string concatenation, and no string<->[]byte/
 //     []rune conversions;
@@ -79,6 +80,19 @@ func builtinName(info *types.Info, call *ast.CallExpr) string {
 	return ""
 }
 
+// isUnsafeSliceCall reports whether the call is unsafe.Slice(ptr, n) —
+// an aliasing view over existing memory with an explicit length bound,
+// the mmap-serving counterpart of a 3-arg make: the author stated the
+// capacity in the source, so growth against it is reviewable.
+func isUnsafeSliceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[sel.Sel].(*types.Builtin)
+	return ok && b.Name() == "Slice"
+}
+
 // isZeroReslice reports whether e is an x[:0]-style reslice — the
 // idiom that re-arms pooled scratch without allocating.
 func isZeroReslice(info *types.Info, e ast.Expr) bool {
@@ -121,9 +135,13 @@ func collectCapEvidence(info *types.Info, params *ast.FieldList, body *ast.Block
 		}
 		for i, rhs := range as.Rhs {
 			evidence := false
-			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
-				builtinName(info, call) == "make" && len(call.Args) == 3 {
-				evidence = true
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if builtinName(info, call) == "make" && len(call.Args) == 3 {
+					evidence = true
+				}
+				if isUnsafeSliceCall(info, call) {
+					evidence = true
+				}
 			}
 			if isZeroReslice(info, rhs) {
 				evidence = true

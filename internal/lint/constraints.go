@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"bufio"
+	"go/build/constraint"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// cosmo-lint type-checks one concrete build of each package — the host
+// GOOS/GOARCH with no extra -tags — so per-platform file pairs (such as
+// kg's mmap_unix.go / mmap_fallback.go, which both define mapFile)
+// must be filtered the way the go tool filters them, or the loader
+// sees duplicate declarations. This file implements that filter:
+// //go:build and // +build constraint lines plus the _GOOS/_GOARCH
+// filename suffix convention, evaluated against the host build.
+
+// knownOS and knownArch mirror the go tool's recognized filename
+// suffixes. A final "_word" component only constrains the file when
+// word is one of these.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS is the set of GOOS values that satisfy the "unix" build tag.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// matchTag reports whether one build tag is satisfied by the host
+// build. Release tags (go1.N) are all treated as satisfied: the lint
+// toolchain is at least as new as the module's go directive. Custom
+// opt-out tags (e.g. cosmo_nommap) are never set, so lint checks the
+// default flavor of each package.
+func matchTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "cgo":
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// fileMatchesBuild reports whether the go tool would include path when
+// building the package for the host GOOS/GOARCH with no extra tags.
+// Both the filename-suffix convention and any //go:build (or legacy
+// // +build) lines in the header must accept the file.
+func fileMatchesBuild(path string) bool {
+	if !suffixMatchesBuild(path) {
+		return false
+	}
+	expr, ok := headerConstraint(path)
+	if !ok {
+		return true
+	}
+	return expr.Eval(matchTag)
+}
+
+// suffixMatchesBuild applies the _GOOS, _GOARCH, and _GOOS_GOARCH
+// filename rules.
+func suffixMatchesBuild(path string) bool {
+	name := path
+	if i := strings.LastIndexByte(name, os.PathSeparator); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".go")
+	// "The name x_GOOS_GOARCH.go is constrained; x_word.go for an
+	// unknown word is not." Leading components before the first "_"
+	// never constrain.
+	parts := strings.Split(name, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// headerConstraint extracts the build constraint from a file's header
+// (the lines before the package clause), preferring //go:build over
+// legacy // +build lines, which are AND-ed together per the original
+// convention. ok is false when the file carries no constraint or
+// cannot be read — unreadable files are left in so the parser reports
+// the real error.
+func headerConstraint(path string) (constraint.Expr, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+
+	var plus constraint.Expr
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if constraint.IsGoBuild(line) {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr, true // //go:build wins outright
+			}
+			continue
+		}
+		if constraint.IsPlusBuild(line) {
+			if expr, err := constraint.Parse(line); err == nil {
+				if plus == nil {
+					plus = expr
+				} else {
+					plus = &constraint.AndExpr{X: plus, Y: expr}
+				}
+			}
+		}
+	}
+	return plus, plus != nil
+}

@@ -146,7 +146,8 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") &&
+			fileMatchesBuild(filepath.Join(dir, e.Name())) {
 			return true
 		}
 	}
@@ -176,6 +177,9 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		if !fileMatchesBuild(filepath.Join(abs, e.Name())) {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(abs, e.Name()), nil, parser.ParseComments)

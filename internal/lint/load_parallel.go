@@ -122,6 +122,9 @@ func (l *Loader) parseDir(dir string, dirSet map[string]bool) (*parsedDir, error
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
+		if !fileMatchesBuild(filepath.Join(abs, e.Name())) {
+			continue
+		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(abs, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err

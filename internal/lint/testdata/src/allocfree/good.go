@@ -1,5 +1,7 @@
 package allocfree
 
+import "unsafe"
+
 // Known-good: annotated functions whose only allocations are sized and
 // deliberate, plus an unannotated function the check leaves alone.
 
@@ -50,6 +52,22 @@ func structsAndStatics(xs []point) (point, func() int) {
 func appendStyle(dst []byte, v byte) []byte {
 	dst = append(dst, '"', v)
 	return append(dst, '"')
+}
+
+// aliased builds a zero-copy view over mapped memory; the explicit
+// length in unsafe.Slice is the stated capacity budget, so append
+// with the view as the destination stays within the evidence the
+// author gave.
+//
+//cosmo:alloc-free
+func aliased(p *int32, n int) int32 {
+	view := unsafe.Slice(p, n) // explicit bound: cap evidence
+	view = append(view, 0)
+	var sum int32
+	for _, v := range view {
+		sum += v
+	}
+	return sum
 }
 
 func unannotated(s string) string {

@@ -79,6 +79,13 @@ type Deployment struct {
 	staleServed         atomic.Uint64
 	refreshFailures     atomic.Uint64
 
+	// Snapshot refresh accounting: reloads that swapped a fresh KG
+	// artifact in, vs refresh ticks that skipped the reload because the
+	// on-disk artifact was unchanged (same stat identity or same v2
+	// content fingerprint; see kg.SnapshotStamp).
+	snapshotReloads        atomic.Uint64
+	snapshotReloadsSkipped atomic.Uint64
+
 	// kgSnap is the frozen knowledge-graph read path. Requests load it
 	// with one atomic read and traverse it lock-free; DailyRefresh
 	// swaps in a fresh snapshot RCU-style — in-flight requests keep
@@ -273,6 +280,19 @@ func (d *Deployment) BatchTotals() BatchTotals {
 		StaleServed:    d.staleServed.Load(),
 		RefreshFails:   d.refreshFailures.Load(),
 	}
+}
+
+// NoteSnapshotReload records one KG snapshot reload-and-swap (the
+// refresh loop picked up a changed artifact, or the initial load).
+func (d *Deployment) NoteSnapshotReload() { d.snapshotReloads.Add(1) }
+
+// NoteSnapshotReloadSkipped records one refresh tick that skipped the
+// snapshot reload because the artifact on disk was unchanged.
+func (d *Deployment) NoteSnapshotReloadSkipped() { d.snapshotReloadsSkipped.Add(1) }
+
+// SnapshotReloadStats returns the (reloads, skipped) counter pair.
+func (d *Deployment) SnapshotReloadStats() (reloads, skipped uint64) {
+	return d.snapshotReloads.Load(), d.snapshotReloadsSkipped.Load()
 }
 
 // RunBatch drains up to n queued queries through the responder with a

@@ -288,7 +288,15 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		if snap := d.KG(); snap != nil {
 			fmt.Fprintf(w, "cosmo_kg_nodes %d\n", snap.NumNodes())
 			fmt.Fprintf(w, "cosmo_kg_edges %d\n", snap.NumEdges())
+			mapped := 0
+			if snap.Mapped() {
+				mapped = 1
+			}
+			fmt.Fprintf(w, "cosmo_kg_snapshot_mmap %d\n", mapped)
 		}
+		reloads, skipped := d.SnapshotReloadStats()
+		fmt.Fprintf(w, "cosmo_snapshot_reloads_total %d\n", reloads)
+		fmt.Fprintf(w, "cosmo_snapshot_reload_skipped_total %d\n", skipped)
 		if ix := d.Similarity(); ix != nil {
 			fmt.Fprintf(w, "cosmo_similarity_indexed %d\n", ix.NumIndexed())
 		}
