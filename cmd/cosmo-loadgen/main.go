@@ -15,10 +15,16 @@
 // cosmo_go_mallocs_total and reports the server's heap allocations per
 // request — the observable half of the zero-alloc encoding contract.
 //
+// With -cluster the target is a cosmo-router: after the run the
+// generator scrapes the router's /metrics instead of /stats and reports
+// end-to-end routed latency plus per-node routing, hedging, failover
+// and breaker statistics.
+//
 // Usage:
 //
 //	cosmo-serve -addr :8080 &
 //	cosmo-loadgen -target http://localhost:8080 -requests 5000 -workers 8 [-batch 32] [-fault-rate 0.1 -fault-seed 1]
+//	cosmo-loadgen -target http://localhost:7070 -cluster -requests 5000
 package main
 
 import (
@@ -63,6 +69,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "client-side abort rate [0,1] (cancel requests mid-flight)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic abort sequence")
 	batch := flag.Int("batch", 0, "intent lookups per request: 0 sends GET /intent, N>0 sends POST /batch with N items")
+	clusterMode := flag.Bool("cluster", false, "treat the target as a cosmo-router: after the run, scrape its /metrics for per-node routing, hedging and latency stats instead of the single-node /stats view")
 	flag.Parse()
 	if *workers < 1 {
 		*workers = 1
@@ -78,7 +85,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mallocsBefore, haveMallocs := scrapeMallocs(*target)
+	var mallocsBefore uint64
+	var mallocsBeforeErr error
+	if !*clusterMode { // the router's /metrics has no malloc counters
+		mallocsBefore, mallocsBeforeErr = scrapeMallocs(*target)
+	}
 
 	aborts := faults.NewSequence(*faultSeed, *faultRate)
 	var served, queued, failed, aborted atomic.Int64
@@ -208,12 +219,27 @@ func main() {
 		served.Load(), 100*float64(served.Load())/float64(total), queued.Load(), failed.Load(), aborted.Load())
 	fmt.Printf("client latency: p50=%.1fms p99=%.1fms p999=%.1fms\n", pct(0.50), pct(0.99), pct(0.999))
 
+	if *clusterMode {
+		reportCluster(*target)
+		return
+	}
+
 	// Server-side allocation cost: the delta in cumulative heap mallocs
 	// across the run, per logical lookup. Background work (batch worker,
-	// refresh ticks) is included, so read this as an upper bound.
-	if mallocsAfter, ok := scrapeMallocs(*target); ok && haveMallocs && total > 0 {
-		fmt.Printf("server: %.1f heap allocs per lookup (%d mallocs over %d lookups)\n",
-			float64(mallocsAfter-mallocsBefore)/float64(total), mallocsAfter-mallocsBefore, total)
+	// refresh ticks) is included, so read this as an upper bound. A
+	// failed scrape is reported as n/a with its reason — never as a
+	// silent zero.
+	if total > 0 {
+		mallocsAfter, mallocsAfterErr := scrapeMallocs(*target)
+		switch {
+		case mallocsBeforeErr != nil:
+			fmt.Printf("server: heap allocs per lookup: n/a (pre-run scrape failed: %v)\n", mallocsBeforeErr)
+		case mallocsAfterErr != nil:
+			fmt.Printf("server: heap allocs per lookup: n/a (post-run scrape failed: %v)\n", mallocsAfterErr)
+		default:
+			fmt.Printf("server: %.1f heap allocs per lookup (%d mallocs over %d lookups)\n",
+				float64(mallocsAfter-mallocsBefore)/float64(total), mallocsAfter-mallocsBefore, total)
+		}
 	}
 
 	// Server-side view: hit rate, queue depth, bounded-queue drops, and
@@ -289,27 +315,168 @@ func countBatchItems(body []byte) (served, queued int64) {
 }
 
 // scrapeMallocs reads cosmo_go_mallocs_total from the server's
-// /metrics endpoint.
-func scrapeMallocs(target string) (uint64, bool) {
+// /metrics endpoint. Every failure mode — transport, non-200 status,
+// read, parse, missing metric — is a distinct error so the caller can
+// report why the allocs column is n/a instead of printing a silent
+// zero.
+func scrapeMallocs(target string) (uint64, error) {
 	resp, err := http.Get(target + "/metrics")
 	if err != nil {
-		return 0, false
+		return 0, fmt.Errorf("metrics scrape: %w", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close after the body was read; failures surface on the read
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, false
+		return 0, fmt.Errorf("metrics read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("metrics scrape: %s/metrics answered %d", target, resp.StatusCode)
 	}
 	for _, line := range strings.Split(string(body), "\n") {
 		if rest, ok := strings.CutPrefix(line, "cosmo_go_mallocs_total "); ok {
 			v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
 			if err != nil {
-				return 0, false
+				return 0, fmt.Errorf("metrics parse: cosmo_go_mallocs_total: %w", err)
 			}
-			return v, true
+			return v, nil
 		}
 	}
-	return 0, false
+	return 0, fmt.Errorf("metrics scrape: cosmo_go_mallocs_total missing from %s/metrics", target)
+}
+
+// reportCluster scrapes a cosmo-router's /metrics and prints the
+// cluster-mode report: router-level counters, hedge statistics, the
+// end-to-end routed latency quantiles, and one line per node.
+func reportCluster(target string) {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		log.Printf("router metrics scrape failed: %v", err)
+		return
+	}
+	defer resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close after the body was read; failures surface on the read
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("router metrics read failed: %v", err)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("router metrics scrape: %s/metrics answered %d", target, resp.StatusCode)
+		return
+	}
+
+	router := map[string]float64{}           // unlabeled cosmo_router_*
+	routerQ := map[string]float64{}          // cosmo_router_latency_ms by quantile
+	nodes := map[string]map[string]float64{} // node -> metric -> value (quantile-labeled keyed as name@q)
+	var nodeOrder []string
+	for _, line := range strings.Split(string(body), "\n") {
+		name, labels, value, ok := parseMetricLine(line)
+		if !ok {
+			continue
+		}
+		if node := labels["node"]; node != "" {
+			m := nodes[node]
+			if m == nil {
+				m = map[string]float64{}
+				nodes[node] = m
+				nodeOrder = append(nodeOrder, node)
+			}
+			key := name
+			if q := labels["quantile"]; q != "" {
+				key = name + "@" + q
+			}
+			m[key] = value
+			continue
+		}
+		if q := labels["quantile"]; q != "" {
+			routerQ[name+"@"+q] = value
+			continue
+		}
+		router[name] = value
+	}
+
+	fmt.Printf("router: %d nodes (%d eligible), %.0f requests, %.0f errors, %.0f failovers, %.0f no-replica\n",
+		int(router["cosmo_router_nodes"]), int(router["cosmo_router_eligible_nodes"]),
+		router["cosmo_router_requests_total"], router["cosmo_router_errors_total"],
+		router["cosmo_router_failovers_total"], router["cosmo_router_no_replica_total"])
+	fmt.Printf("router: hedges %.0f, hedge wins %.0f (ratio %.2f), hedge delay %.1fms\n",
+		router["cosmo_router_hedges_total"], router["cosmo_router_hedge_wins_total"],
+		router["cosmo_router_hedge_win_ratio"], router["cosmo_router_hedge_delay_ms"])
+	fmt.Printf("router latency: p50=%.1fms p99=%.1fms p999=%.1fms\n",
+		routerQ["cosmo_router_latency_ms@0.5"],
+		routerQ["cosmo_router_latency_ms@0.99"],
+		routerQ["cosmo_router_latency_ms@0.999"])
+	for _, n := range nodeOrder {
+		m := nodes[n]
+		fmt.Printf("node %s: %s, breaker %s (opens %.0f), routes %.0f, hedges %.0f (wins %.0f), failovers %.0f, exclusions %.0f, ok %.0f, fail %.0f, p50=%.1fms p99=%.1fms p999=%.1fms\n",
+			n, healthName(m["cosmo_node_health"]), breakerName(m["cosmo_node_breaker_state"]),
+			m["cosmo_node_breaker_opens_total"], m["cosmo_node_routes_total"],
+			m["cosmo_node_hedges_total"], m["cosmo_node_hedge_wins_total"],
+			m["cosmo_node_failovers_total"], m["cosmo_node_exclusions_total"],
+			m["cosmo_node_successes_total"], m["cosmo_node_failures_total"],
+			m["cosmo_node_latency_ms@0.5"], m["cosmo_node_latency_ms@0.99"], m["cosmo_node_latency_ms@0.999"])
+	}
+}
+
+// parseMetricLine parses one Prometheus-style plaintext line of the
+// shapes `name value`, `name{k="v"} value` and
+// `name{k="v",k2="v2"} value`.
+func parseMetricLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", nil, 0, false
+	}
+	labels = map[string]string{}
+	metric := line
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		closeIdx := strings.IndexByte(line, '}')
+		if closeIdx < open {
+			return "", nil, 0, false
+		}
+		metric = line[:open] + line[closeIdx+1:]
+		for _, pair := range strings.Split(line[open+1:closeIdx], ",") {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				continue
+			}
+			labels[strings.TrimSpace(k)] = strings.Trim(strings.TrimSpace(v), `"`)
+		}
+	}
+	fields := strings.Fields(metric)
+	if len(fields) != 2 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return fields[0], labels, v, true
+}
+
+// healthName renders the cosmo_node_health enum (cluster.Health).
+func healthName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "ready"
+	case 1:
+		return "draining"
+	case 2:
+		return "down"
+	}
+	return fmt.Sprintf("health(%d)", int(v))
+}
+
+// breakerName renders the cosmo_node_breaker_state enum
+// (serving.BreakerState).
+func breakerName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(v))
 }
 
 // waitReady polls the server's /readyz until it reports 200, the

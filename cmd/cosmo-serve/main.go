@@ -44,7 +44,15 @@
 //
 //	cosmo-serve [-addr :8080] [-events N] [-refresh 24h] [-shards 8] [-queue-cap 4096]
 //	            [-snapshot kg.cosmo] [-mmap] [-ann-tables 16] [-ann-bits 10]
+//	            [-drain-grace 15s]
 //	            [-fault-rate 0.2 -fault-seed 1 -fault-hang-rate 0.05 -fault-panic-rate 0.05]
+//
+// With -drain-grace, SIGINT/SIGTERM starts a graceful drain instead of
+// an immediate shutdown: /readyz flips to 503 with a "draining" body
+// (and /metrics exports cosmo_draining 1) so routers and load balancers
+// take the node out of rotation, while the query endpoints keep
+// answering in-flight and router-retry traffic for the grace period;
+// then the server shuts down.
 //
 // Endpoints: GET /intent?q=..., GET /intentions?id=..., GET /related?id=...,
 // GET /similar?q=..., POST /batch, GET /kg, GET /stats, GET /metrics,
@@ -98,6 +106,7 @@ func main() {
 	annBits := flag.Int("ann-bits", kg.DefaultSimilarityBits, "LSH signature bits per table for the /similar index")
 	annSeed := flag.Int64("ann-seed", 1, "LSH hyperplane seed")
 	maxBatch := flag.Int("max-batch", serving.DefaultMaxBatchItems, "max items per POST /batch request")
+	drainGrace := flag.Duration("drain-grace", 0, "on SIGINT/SIGTERM, announce a drain (/readyz 503 \"draining\", cosmo_draining 1) and keep serving for this long before shutting down; 0 shuts down immediately")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -283,8 +292,20 @@ func main() {
 	}
 	go func() {
 		<-ctx.Done()
+		if *drainGrace > 0 {
+			// Graceful drain: /readyz answers 503 "draining" so routers
+			// and load balancers take this node out of rotation, while
+			// the query endpoints keep answering in-flight and
+			// router-retry traffic for the grace period.
+			dep.BeginDrain()
+			log.Printf("draining: out of rotation, serving for another %v before shutdown", *drainGrace)
+			timer := time.NewTimer(*drainGrace)
+			defer timer.Stop()
+			<-timer.C
+		} else {
+			dep.SetReady(false) // /readyz flips first so load balancers drain
+		}
 		log.Print("shutting down...")
-		dep.SetReady(false) // /readyz flips first so load balancers drain
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

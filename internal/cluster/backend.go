@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cosmo/internal/serving"
+)
+
+// Health is a node's probed state, ordered by desirability.
+type Health int32
+
+const (
+	// HealthReady: the node answers /readyz 200 and takes new keys.
+	HealthReady Health = iota
+	// HealthDraining: the node announced a graceful drain — it still
+	// answers in-flight and retry traffic but must leave replica sets.
+	HealthDraining
+	// HealthDown: the probe failed or the node reported not-ready.
+	HealthDown
+)
+
+// String renders the state for metrics and logs.
+func (h Health) String() string {
+	switch h {
+	case HealthReady:
+		return "ready"
+	case HealthDraining:
+		return "draining"
+	case HealthDown:
+		return "down"
+	}
+	return fmt.Sprintf("Health(%d)", int32(h))
+}
+
+// Result is one backend response: the status, content type and body of
+// the proxied query endpoint. Body is owned by the caller.
+type Result struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Backend is one serving node as the router sees it: a query transport
+// plus a health probe. Implementations must be safe for concurrent use
+// and honor ctx cancellation in Do (a hedged race cancels the loser).
+type Backend interface {
+	// Do proxies one GET query (path like "/intent", rawQuery like
+	// "q=camping") and returns the node's response. A transport-level
+	// failure (refused connection, timeout) returns an error; an HTTP
+	// error status is returned in Result for the router to classify.
+	Do(ctx context.Context, path, rawQuery string) (Result, error)
+	// Check probes the node's /readyz-equivalent state.
+	Check(ctx context.Context) Health
+}
+
+// LocalBackend wraps an in-process serving.Deployment as a Backend —
+// the 1-node case, and the hermetic substrate for multi-node chaos
+// harnesses: requests run straight through the deployment's HTTP
+// handler with no sockets.
+type LocalBackend struct {
+	dep     *serving.Deployment
+	handler http.Handler
+}
+
+// NewLocalBackend builds a Backend over the deployment's HTTP handler.
+func NewLocalBackend(dep *serving.Deployment) *LocalBackend {
+	return &LocalBackend{dep: dep, handler: serving.NewHTTPHandler(dep)}
+}
+
+// Do runs the request through the in-process handler.
+func (b *LocalBackend) Do(ctx context.Context, path, rawQuery string) (Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://local"+path, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	req.URL.RawQuery = rawQuery
+	rec := newRecorder()
+	b.handler.ServeHTTP(rec, req)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	body := make([]byte, rec.body.Len())
+	copy(body, rec.body.Bytes())
+	return Result{
+		Status:      rec.status,
+		ContentType: rec.header.Get("Content-Type"),
+		Body:        body,
+	}, nil
+}
+
+// Check mirrors the /readyz contract without a round trip: draining
+// beats everything (the node said so itself), then warmup/breaker
+// readiness.
+func (b *LocalBackend) Check(ctx context.Context) Health {
+	if ctx.Err() != nil {
+		return HealthDown
+	}
+	if b.dep.Draining() {
+		return HealthDraining
+	}
+	if !b.dep.Ready() {
+		return HealthDown
+	}
+	if rs, ok := b.dep.ResilienceStats(); ok && rs.BreakerState == serving.BreakerOpen {
+		return HealthDown
+	}
+	return HealthReady
+}
+
+// recorder is a minimal in-process http.ResponseWriter (the stdlib's
+// httptest recorder, without importing a test package into the serving
+// tier).
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: http.Header{}}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) { r.status = status }
+
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// HTTPBackend is a Backend over a real cosmo-serve instance.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+	// maxBody bounds one proxied response body.
+	maxBody int64
+}
+
+// DefaultMaxProxyBody bounds one proxied response body (1 MiB matches
+// the serve side's own /batch request cap).
+const DefaultMaxProxyBody = 1 << 20
+
+// NewHTTPBackend builds a Backend that queries the cosmo-serve at base
+// (e.g. "http://10.0.0.3:8080"). client may be nil for a default with
+// no global timeout — attempts are bounded per call by the router's
+// attempt context.
+func NewHTTPBackend(base string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HTTPBackend{
+		base:    strings.TrimRight(base, "/"),
+		client:  client,
+		maxBody: DefaultMaxProxyBody,
+	}
+}
+
+// Do proxies one GET to the node.
+func (b *HTTPBackend) Do(ctx context.Context, path, rawQuery string) (Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	req.URL.RawQuery = rawQuery
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close after the body was read; failures surface on the read
+
+	body, err := io.ReadAll(io.LimitReader(resp.Body, b.maxBody))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+	}, nil
+}
+
+// Check probes the node's /readyz. A 200 is ready; a non-200 whose body
+// says "draining" is a graceful drain (the cosmo-serve -drain-grace
+// protocol); anything else — including transport failure — is down.
+func (b *HTTPBackend) Check(ctx context.Context) Health {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return HealthDown
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return HealthDown
+	}
+	defer resp.Body.Close() //cosmo:lint-ignore dropped-error best-effort close on a readiness probe
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if err != nil {
+		return HealthDown
+	}
+	if resp.StatusCode == http.StatusOK {
+		return HealthReady
+	}
+	if strings.Contains(string(body), "draining") {
+		return HealthDraining
+	}
+	return HealthDown
+}

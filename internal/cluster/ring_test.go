@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allEligible(int) bool { return true }
+
+func TestRingWalkDistinctAndBounded(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(names, 64)
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		for max := 1; max <= len(names)+1; max++ {
+			got := r.Walk(nil, key, max, allEligible)
+			want := max
+			if want > len(names) {
+				want = len(names)
+			}
+			if len(got) != want {
+				t.Fatalf("Walk(%q, max=%d) returned %d nodes, want %d", key, max, len(got), want)
+			}
+			seen := map[int]bool{}
+			for _, n := range got {
+				if n < 0 || n >= len(names) {
+					t.Fatalf("Walk(%q) returned out-of-range node %d", key, n)
+				}
+				if seen[n] {
+					t.Fatalf("Walk(%q) returned duplicate node %d: %v", key, n, got)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	r1 := NewRing(names, 128)
+	r2 := NewRing(names, 128)
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		g1 := r1.Walk(nil, key, 0, allEligible)
+		g2 := r2.Walk(nil, key, 0, allEligible)
+		if len(g1) != len(g2) {
+			t.Fatalf("key %q: walks differ in length: %v vs %v", key, g1, g2)
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("key %q: walks differ: %v vs %v", key, g1, g2)
+			}
+		}
+	}
+}
+
+// Membership — not the order nodes were listed in — determines the
+// layout: the same names in a different slice order must produce the
+// same name sequence for every key.
+func TestRingOrderIndependentLayout(t *testing.T) {
+	a := []string{"n0", "n1", "n2", "n3"}
+	b := []string{"n3", "n1", "n0", "n2"}
+	ra := NewRing(a, 128)
+	rb := NewRing(b, 128)
+	for k := 0; k < 300; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		wa := ra.Walk(nil, key, 0, allEligible)
+		wb := rb.Walk(nil, key, 0, allEligible)
+		if len(wa) != len(wb) {
+			t.Fatalf("key %q: %v vs %v", key, wa, wb)
+		}
+		for i := range wa {
+			if a[wa[i]] != b[wb[i]] {
+				t.Fatalf("key %q: name sequence differs at %d: %s vs %s",
+					key, i, a[wa[i]], b[wb[i]])
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r := NewRing(names, DefaultVirtualNodes)
+	counts := make([]int, len(names))
+	const keys = 30000
+	for k := 0; k < keys; k++ {
+		got := r.Walk(nil, fmt.Sprintf("key-%d", k), 1, allEligible)
+		counts[got[0]]++
+	}
+	// With 128 vnodes per node the spread should be well within
+	// [20%, 47%] of a perfect 33% split.
+	for i, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.20 || frac > 0.47 {
+			t.Fatalf("node %s owns %.1f%% of keys; spread too uneven: %v",
+				names[i], frac*100, counts)
+		}
+	}
+}
+
+// Excluding a node must shift only that node's keys, each to its next
+// replica in the original walk order — deterministic failover.
+func TestRingFailoverDeterminism(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	r := NewRing(names, 128)
+	const down = 2 // exclude "c"
+	up := func(i int) bool { return i != down }
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		full := r.Walk(nil, key, 0, allEligible)
+		got := r.Walk(nil, key, 0, up)
+		want := make([]int, 0, len(full)-1)
+		for _, n := range full {
+			if n != down {
+				want = append(want, n)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key %q: got %v want %v", key, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("key %q: exclusion reordered survivors: got %v want %v", key, got, want)
+			}
+		}
+	}
+}
+
+// Clusters past 64 nodes take the wide (slice-visited) walk path; it
+// must behave identically to the bitmap path.
+func TestRingWalkWide(t *testing.T) {
+	names := make([]string, 70)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%02d", i)
+	}
+	r := NewRing(names, 16)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		got := r.Walk(nil, key, 0, allEligible)
+		if len(got) != len(names) {
+			t.Fatalf("key %q: wide walk returned %d of %d nodes", key, len(got), len(names))
+		}
+		seen := map[int]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate node %d in wide walk", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingReusesDst(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 32)
+	dst := make([]int, 0, 3)
+	g1 := r.Walk(dst, "k1", 0, allEligible)
+	g2 := r.Walk(dst[:0], "k2", 0, allEligible)
+	if len(g1) != 3 || len(g2) != 3 {
+		t.Fatalf("walks returned %d and %d nodes, want 3 and 3", len(g1), len(g2))
+	}
+}

@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cosmo/internal/serving"
+)
+
+// ErrNoEligibleNodes is returned when every node is down, draining or
+// breaker-open — the only condition under which the router itself
+// reports unready.
+var ErrNoEligibleNodes = errors.New("cluster: no eligible nodes")
+
+// Config tunes the Router. Zero values select the documented defaults.
+type Config struct {
+	// Replication is the replica-set size per key: reads go to the
+	// primary with a hedge to the next replica (default 2; 1 disables
+	// hedging, capped at the node count).
+	Replication int
+	// VirtualNodes is the ring's per-node virtual point count (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// AttemptTimeout bounds one node attempt (default 2s; negative
+	// disables).
+	AttemptTimeout time.Duration
+	// HedgeQuantile is the per-node latency quantile the hedge delay is
+	// derived from (default 0.99).
+	HedgeQuantile float64
+	// HedgeMin / HedgeMax clamp the derived hedge delay (defaults 1ms /
+	// 250ms). With no node histogram warm yet the delay is HedgeMax —
+	// hedge conservatively until there is evidence.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// MinHedgeSamples is how many successful attempts a node's
+	// histogram needs before it participates in hedge-delay derivation
+	// (default 32).
+	MinHedgeSamples int64
+	// BreakerThreshold / BreakerCooldown / BreakerProbes configure each
+	// node's circuit breaker (serving.Breaker semantics; defaults 5 /
+	// 2s / 1).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	BreakerProbes    int
+	// ProbeInterval / ProbeTimeout drive the active health loop
+	// (defaults 1s / 500ms).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// Clock feeds the breakers (FakeClock in tests; default RealClock).
+	Clock serving.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.99
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 250 * time.Millisecond
+	}
+	if c.HedgeMax < c.HedgeMin {
+		c.HedgeMax = c.HedgeMin
+	}
+	if c.MinHedgeSamples <= 0 {
+		c.MinHedgeSamples = 32
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 1
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = serving.RealClock{}
+	}
+	return c
+}
+
+// NodeSpec names one backend for the router.
+type NodeSpec struct {
+	Name    string
+	Backend Backend
+}
+
+// node is the router's per-node state: transport, breaker, health and
+// the atomic latency histogram the hedge delay derives from.
+type node struct {
+	name    string
+	backend Backend
+	brk     *serving.Breaker
+	hist    *serving.Histogram // successful-attempt latency (ms)
+	health  atomic.Int32       // Health
+
+	primaries  atomic.Uint64 // attempts sent as a key's primary
+	hedges     atomic.Uint64 // hedge attempts sent here
+	hedgeWins  atomic.Uint64 // hedges that returned first with success
+	failovers  atomic.Uint64 // attempts after an earlier replica failed
+	exclusions atomic.Uint64 // replica-set skips (down/draining/breaker)
+	successes  atomic.Uint64
+	failures   atomic.Uint64
+}
+
+// Request is one routed query: Key drives replica placement (the q= or
+// id= value), Path and RawQuery are proxied verbatim.
+type Request struct {
+	Key      string
+	Path     string
+	RawQuery string
+}
+
+// Router fronts a fixed node set with consistent-hash routing,
+// replication, hedged reads and breaker-driven failover.
+type Router struct {
+	cfg   Config
+	nodes []*node
+	ring  *Ring
+
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	failovers atomic.Uint64
+	noReplica atomic.Uint64
+	e2e       *serving.Histogram // end-to-end routed latency (ms)
+}
+
+// New builds a router over the named backends. Node names are the ring
+// identity: keep them stable across restarts or every key remaps.
+func New(specs []NodeSpec, cfg Config) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("cluster: at least one node required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Replication > len(specs) {
+		cfg.Replication = len(specs)
+	}
+	names := make([]string, len(specs))
+	nodes := make([]*node, len(specs))
+	for i, s := range specs {
+		if s.Name == "" || s.Backend == nil {
+			return nil, fmt.Errorf("cluster: node %d: name and backend required", i)
+		}
+		names[i] = s.Name
+		nodes[i] = &node{
+			name:    s.Name,
+			backend: s.Backend,
+			brk: serving.NewBreaker(serving.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+				Probes:    cfg.BreakerProbes,
+				Clock:     cfg.Clock,
+			}),
+			hist: serving.NewHistogram(nil),
+		}
+	}
+	for i, a := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] == a {
+				return nil, fmt.Errorf("cluster: duplicate node name %q", a)
+			}
+		}
+	}
+	return &Router{
+		cfg:   cfg,
+		nodes: nodes,
+		ring:  NewRing(names, cfg.VirtualNodes),
+		e2e:   serving.NewHistogram(nil),
+	}, nil
+}
+
+// NumNodes returns the configured node count.
+func (r *Router) NumNodes() int { return len(r.nodes) }
+
+// EligibleNodes counts nodes currently admissible to replica sets:
+// probed ready and breaker willing to serve.
+func (r *Router) EligibleNodes() int {
+	n := 0
+	for _, nd := range r.nodes {
+		if Health(nd.health.Load()) == HealthReady && nd.brk.CanServe() {
+			n++
+		}
+	}
+	return n
+}
+
+// eligibleOrder computes the key's full deterministic preference order
+// over currently eligible nodes (ring walk order). Excluded nodes are
+// counted per node.
+func (r *Router) eligibleOrder(key string) []int {
+	return r.ring.Walk(make([]int, 0, len(r.nodes)), key, 0, func(i int) bool {
+		nd := r.nodes[i]
+		if Health(nd.health.Load()) != HealthReady || !nd.brk.CanServe() {
+			nd.exclusions.Add(1)
+			return false
+		}
+		return true
+	})
+}
+
+// ReplicaSet reports the key's current replica set by node name —
+// primary first. Diagnostic (the chaos tests assert deterministic
+// failover through it); the serving path uses eligibleOrder directly.
+func (r *Router) ReplicaSet(key string) []string {
+	order := r.eligibleOrder(key)
+	if len(order) > r.cfg.Replication {
+		order = order[:r.cfg.Replication]
+	}
+	names := make([]string, len(order))
+	for i, idx := range order {
+		names[i] = r.nodes[idx].name
+	}
+	return names
+}
+
+// hedgeDelay derives the current hedge delay: the minimum across
+// eligible warm nodes of their HedgeQuantile latency, clamped to
+// [HedgeMin, HedgeMax]. Taking the minimum — the best achievable
+// quantile in the cluster — rather than an aggregate keeps one
+// straggler node from inflating the delay that is supposed to protect
+// against it. With no warm node the delay is HedgeMax.
+func (r *Router) hedgeDelay() time.Duration {
+	best := r.cfg.HedgeMax
+	found := false
+	for _, nd := range r.nodes {
+		if Health(nd.health.Load()) != HealthReady {
+			continue
+		}
+		if nd.hist.Count() < r.cfg.MinHedgeSamples {
+			continue
+		}
+		q := time.Duration(nd.hist.Quantile(r.cfg.HedgeQuantile) * float64(time.Millisecond))
+		if !found || q < best {
+			best, found = q, true
+		}
+	}
+	if !found {
+		return r.cfg.HedgeMax
+	}
+	if best < r.cfg.HedgeMin {
+		return r.cfg.HedgeMin
+	}
+	if best > r.cfg.HedgeMax {
+		return r.cfg.HedgeMax
+	}
+	return best
+}
+
+// Do routes one request: primary attempt with a hedged second replica,
+// then deterministic sequential failover through the remaining eligible
+// nodes. First success wins and cancels the loser; an error is returned
+// only when every eligible node failed (or none exists).
+func (r *Router) Do(ctx context.Context, req Request) (Result, error) {
+	r.requests.Add(1)
+	start := time.Now()
+	res, err := r.route(ctx, req)
+	if err != nil {
+		r.errors.Add(1)
+		return res, err
+	}
+	r.e2e.Observe(float64(time.Since(start).Microseconds()) / 1000.0)
+	return res, nil
+}
+
+// outcome is one attempt's report in a hedged race.
+type outcome struct {
+	res   Result
+	err   error
+	hedge bool
+}
+
+func (r *Router) route(ctx context.Context, req Request) (Result, error) {
+	order := r.eligibleOrder(req.Key)
+	if len(order) == 0 {
+		r.noReplica.Add(1)
+		return Result{}, ErrNoEligibleNodes
+	}
+
+	// Hedged primary phase: launch the primary, arm the hedge timer,
+	// and race them. Buffered channel: a loser finishing after we
+	// return never blocks.
+	ch := make(chan outcome, 2)
+	primary := r.nodes[order[0]]
+	primary.primaries.Add(1)
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go func() {
+		res, err := r.attempt(pctx, primary, req)
+		ch <- outcome{res: res, err: err}
+	}()
+
+	var timerC <-chan time.Time
+	canHedge := r.cfg.Replication > 1 && len(order) > 1
+	if canHedge {
+		timer := time.NewTimer(r.hedgeDelay())
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	hedged := false
+	var hcancel context.CancelFunc
+	outstanding := 1
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				if out.hedge {
+					r.hedgeWins.Add(1)
+					r.nodes[order[1]].hedgeWins.Add(1)
+					pcancel() // the primary lost; stop its attempt
+				} else if hcancel != nil {
+					hcancel() // the hedge lost; stop its attempt
+				}
+				return out.res, nil
+			}
+			lastErr = out.err
+		case <-timerC:
+			timerC = nil
+			hedged = true
+			hedge := r.nodes[order[1]]
+			hedge.hedges.Add(1)
+			r.hedges.Add(1)
+			var hctx context.Context
+			hctx, hcancel = context.WithCancel(ctx)
+			defer hcancel()
+			go func() {
+				res, err := r.attempt(hctx, hedge, req)
+				ch <- outcome{res: res, err: err, hedge: true}
+			}()
+			outstanding++
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+
+	// Both racers (or the lone primary) failed: deterministic
+	// sequential failover through the rest of the preference order.
+	next := 1
+	if hedged {
+		next = 2
+	}
+	for _, idx := range order[next:] {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		nd := r.nodes[idx]
+		nd.failovers.Add(1)
+		r.failovers.Add(1)
+		res, err := r.attempt(ctx, nd, req)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("cluster: all %d eligible replicas failed for key %q: %w",
+		len(order), req.Key, lastErr)
+}
+
+// attempt runs one bounded call against a node, feeding the outcome to
+// the node's breaker and (on success) its latency histogram. A call
+// cancelled from above — the hedged race was already won, or the client
+// left — is abandoned: it says nothing about node health, so it feeds
+// neither breaker quorum.
+func (r *Router) attempt(ctx context.Context, nd *node, req Request) (Result, error) {
+	if !nd.brk.Allow() {
+		// Lost a probe-slot race since the eligibility scan; treat as a
+		// routing miss, not a node failure.
+		return Result{}, fmt.Errorf("cluster: node %s breaker rejected the call", nd.name)
+	}
+	actx := ctx
+	cancel := func() {}
+	if r.cfg.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+	}
+	defer cancel()
+	start := time.Now()
+	res, err := nd.backend.Do(actx, req.Path, req.RawQuery)
+	if err != nil {
+		if ctx.Err() != nil {
+			nd.brk.Abandon()
+			return Result{}, err
+		}
+		nd.failures.Add(1)
+		nd.brk.Failure()
+		return Result{}, fmt.Errorf("cluster: node %s: %w", nd.name, err)
+	}
+	if res.Status >= 500 {
+		nd.failures.Add(1)
+		nd.brk.Failure()
+		return Result{}, fmt.Errorf("cluster: node %s answered %d", nd.name, res.Status)
+	}
+	nd.successes.Add(1)
+	nd.brk.Success()
+	nd.hist.Observe(float64(time.Since(start).Microseconds()) / 1000.0)
+	return res, nil
+}
+
+// CheckHealth probes every node once (the active half of health; the
+// passive half is per-attempt breaker accounting). Deterministic entry
+// point for tests; the production loop is StartHealthLoop.
+func (r *Router) CheckHealth(ctx context.Context) {
+	for _, nd := range r.nodes {
+		hctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+		h := nd.backend.Check(hctx)
+		cancel()
+		nd.health.Store(int32(h))
+	}
+}
+
+// StartHealthLoop probes all nodes every ProbeInterval until ctx is
+// done. The returned channel closes once the loop has stopped.
+func (r *Router) StartHealthLoop(ctx context.Context) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(r.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				r.CheckHealth(ctx)
+			}
+		}
+	}()
+	return done
+}

@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosmo/internal/cluster"
+	"cosmo/internal/serving"
+)
+
+// ClusterHarness is an in-process multi-node serving tier for chaos
+// tests: n serving.Deployments, each wrapped as a LocalBackend behind
+// its own FaultyBackend transport injector, fronted by one Router. No
+// sockets, fully hermetic, race-clean — kill a node mid-run with
+// Faults[i].SetDown(true), make it a straggler with SetExtraLatency,
+// and assert on the router's counters.
+type ClusterHarness struct {
+	Deployments []*serving.Deployment
+	Faults      []*FaultyBackend
+	Router      *cluster.Router
+}
+
+// HarnessConfig shapes a ClusterHarness.
+type HarnessConfig struct {
+	// Nodes is the cluster size (default 3).
+	Nodes int
+	// Router tunes the router (replication, hedging, breakers...).
+	Router cluster.Config
+	// Transport is each node's injector config (Seed is offset per
+	// node so streams are independent but reproducible).
+	Transport TransportConfig
+	// Keys are preloaded into every node's yearly cache layer, so
+	// /intent?q=<key> answers 200 from any node — the fixed keyspace
+	// the chaos load runs over.
+	Keys []string
+}
+
+// NewClusterHarness assembles the tier. Every deployment is ready, has
+// the keys preloaded, and serves through an echo responder; node names
+// are "node0".."node<n-1>".
+func NewClusterHarness(cfg HarnessConfig) (*ClusterHarness, error) {
+	n := cfg.Nodes
+	if n <= 0 {
+		n = 3
+	}
+	h := &ClusterHarness{
+		Deployments: make([]*serving.Deployment, 0, n),
+		Faults:      make([]*FaultyBackend, 0, n),
+	}
+	specs := make([]cluster.NodeSpec, 0, n)
+	for i := 0; i < n; i++ {
+		dep := serving.NewDeploymentContext(
+			serving.DeployConfig{DailyCacheCap: 1024, QueueCap: 1024},
+			serving.ContextResponderFunc(func(ctx context.Context, q string) (serving.Feature, error) {
+				if err := ctx.Err(); err != nil {
+					return serving.Feature{}, err
+				}
+				return serving.Feature{Query: q, Intents: []string{"used for " + q}}, nil
+			}))
+		if len(cfg.Keys) > 0 {
+			feats := make([]serving.Feature, 0, len(cfg.Keys))
+			now := dep.Clock.Now()
+			for _, k := range cfg.Keys {
+				feats = append(feats, serving.Feature{
+					Query:     k,
+					Intents:   []string{"used for " + k},
+					Version:   1,
+					CreatedAt: now,
+				})
+			}
+			dep.Cache.ReplaceYearly(feats)
+		}
+		dep.SetReady(true)
+		tcfg := cfg.Transport
+		tcfg.Seed += int64(i) // independent, reproducible per-node streams
+		fb := WrapBackend(cluster.NewLocalBackend(dep), tcfg)
+		h.Deployments = append(h.Deployments, dep)
+		h.Faults = append(h.Faults, fb)
+		specs = append(specs, cluster.NodeSpec{Name: fmt.Sprintf("node%d", i), Backend: fb})
+	}
+	router, err := cluster.New(specs, cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	h.Router = router
+	return h, nil
+}
+
+// Lookup routes one /intent query through the harness router.
+func (h *ClusterHarness) Lookup(ctx context.Context, key string) (cluster.Result, error) {
+	return h.Router.Do(ctx, cluster.Request{
+		Key:      key,
+		Path:     "/intent",
+		RawQuery: "q=" + key,
+	})
+}
+
+// RunLoad drives workers*perWorker lookups over keys (round-robin per
+// worker) and returns each request's latency plus the count of
+// client-visible failures. mid, when non-nil, runs exactly once, from
+// the worker that completes the halfway-th request — the mid-run hook
+// chaos tests use to kill a node with load still in flight.
+func (h *ClusterHarness) RunLoad(ctx context.Context, workers, perWorker int, keys []string, mid func()) (latencies []time.Duration, failures int) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if perWorker <= 0 {
+		perWorker = 1
+	}
+	lat := make([]time.Duration, workers*perWorker)
+	fail := make([]int, workers)
+	half := int64(workers * perWorker / 2)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := keys[(w*perWorker+i)%len(keys)]
+				t0 := time.Now()
+				res, err := h.Lookup(ctx, key)
+				lat[w*perWorker+i] = time.Since(t0)
+				if err != nil || res.Status >= 400 {
+					fail[w]++
+				}
+				if completed.Add(1) == half && mid != nil {
+					mid()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range fail {
+		failures += f
+	}
+	return lat, failures
+}

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"cosmo/internal/cluster"
+)
+
+// Transport-level injected faults, distinguishable from organic node
+// errors in tests.
+var (
+	// ErrRefused simulates a refused connection (node process dead, or
+	// a network partition between router and node).
+	ErrRefused = errors.New("faults: connection refused (injected)")
+)
+
+// TransportConfig sets per-call fault probabilities for a FaultyBackend.
+// Rates are clamped to [0, 1] and applied in priority order — refuse,
+// hang, 5xx, latency — from a single seeded roll, the same splitmix64
+// derivation as the responder injector, so a chaos run is exactly
+// reproducible.
+type TransportConfig struct {
+	// Seed drives the deterministic per-call roll.
+	Seed int64
+	// RefuseRate is the probability a call fails immediately with
+	// ErrRefused, as a dead or partitioned node would.
+	RefuseRate float64
+	// HangRate is the probability a call blocks until its context is
+	// cancelled — a wedged node; the router's attempt timeout bounds it.
+	HangRate float64
+	// FiveXXRate is the probability a call answers 503 with no body (a
+	// 5xx burst is an episode of elevated FiveXXRate bracketed with
+	// SetEnabled).
+	FiveXXRate float64
+	// LatencyRate is the probability a call is delayed by Latency
+	// before passing through.
+	LatencyRate float64
+	// Latency is the injected delay for latency-spiked calls (default
+	// 50ms when LatencyRate is set).
+	Latency time.Duration
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	c.RefuseRate = clamp01(c.RefuseRate)
+	c.HangRate = clamp01(c.HangRate)
+	c.FiveXXRate = clamp01(c.FiveXXRate)
+	c.LatencyRate = clamp01(c.LatencyRate)
+	if c.Latency <= 0 {
+		c.Latency = 50 * time.Millisecond
+	}
+	return c
+}
+
+// TransportStats counts injected transport faults by kind.
+type TransportStats struct {
+	Calls     uint64 // rolls performed (enabled, non-episode calls)
+	Refusals  uint64 // includes down/partition episode refusals
+	Hangs     uint64
+	FiveXX    uint64
+	Latencies uint64
+	Clean     uint64
+}
+
+// FaultyBackend interposes transport faults in front of a cluster
+// Backend: seeded per-call rolls (refused connections, hangs honoring
+// ctx, 5xx, latency spikes) plus explicit episode switches — SetDown
+// for node death or a partition (every call and health probe refused),
+// SetExtraLatency for a straggler episode (a fixed delay added to every
+// call, e.g. 10x the healthy latency). Safe for concurrent use.
+type FaultyBackend struct {
+	inner   cluster.Backend
+	cfg     TransportConfig
+	enabled atomic.Bool
+	down    atomic.Bool
+	extraNs atomic.Int64
+	calls   atomic.Uint64
+
+	refusals  atomic.Uint64
+	hangs     atomic.Uint64
+	fivexx    atomic.Uint64
+	latencies atomic.Uint64
+	clean     atomic.Uint64
+}
+
+// WrapBackend builds an enabled FaultyBackend over inner.
+func WrapBackend(inner cluster.Backend, cfg TransportConfig) *FaultyBackend {
+	f := &FaultyBackend{inner: inner, cfg: cfg.withDefaults()}
+	f.enabled.Store(true)
+	return f
+}
+
+// SetEnabled toggles rate-based injection; a disabled backend passes
+// calls through without consuming a roll, so episodes can be bracketed
+// without perturbing the deterministic sequence. Episode switches
+// (SetDown, SetExtraLatency) act regardless.
+func (f *FaultyBackend) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// SetDown starts or ends a death/partition episode: while down, every
+// call and every health probe is refused.
+func (f *FaultyBackend) SetDown(down bool) { f.down.Store(down) }
+
+// Down reports whether a death/partition episode is active.
+func (f *FaultyBackend) Down() bool { return f.down.Load() }
+
+// SetExtraLatency starts (d > 0) or ends (d <= 0) a straggler episode:
+// every call is delayed by d before reaching the node. The delay
+// honors ctx, so a hedged winner still cancels the straggling loser.
+func (f *FaultyBackend) SetExtraLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.extraNs.Store(int64(d))
+}
+
+// Stats snapshots the fault counters.
+func (f *FaultyBackend) Stats() TransportStats {
+	return TransportStats{
+		Calls:     f.calls.Load(),
+		Refusals:  f.refusals.Load(),
+		Hangs:     f.hangs.Load(),
+		FiveXX:    f.fivexx.Load(),
+		Latencies: f.latencies.Load(),
+		Clean:     f.clean.Load(),
+	}
+}
+
+// Do applies episode switches, then one seeded fault roll, then passes
+// through to the inner backend.
+func (f *FaultyBackend) Do(ctx context.Context, path, rawQuery string) (cluster.Result, error) {
+	if f.down.Load() {
+		f.refusals.Add(1)
+		return cluster.Result{}, ErrRefused
+	}
+	if extra := time.Duration(f.extraNs.Load()); extra > 0 {
+		if err := waitCtx(ctx, extra); err != nil {
+			return cluster.Result{}, err
+		}
+	}
+	if f.enabled.Load() {
+		u := roll(f.cfg.Seed, f.calls.Add(1)-1)
+		switch {
+		case u < f.cfg.RefuseRate:
+			f.refusals.Add(1)
+			return cluster.Result{}, ErrRefused
+		case u < f.cfg.RefuseRate+f.cfg.HangRate:
+			f.hangs.Add(1)
+			<-ctx.Done()
+			return cluster.Result{}, ctx.Err()
+		case u < f.cfg.RefuseRate+f.cfg.HangRate+f.cfg.FiveXXRate:
+			f.fivexx.Add(1)
+			return cluster.Result{Status: 503}, nil
+		case u < f.cfg.RefuseRate+f.cfg.HangRate+f.cfg.FiveXXRate+f.cfg.LatencyRate:
+			f.latencies.Add(1)
+			if err := waitCtx(ctx, f.cfg.Latency); err != nil {
+				return cluster.Result{}, err
+			}
+		default:
+			f.clean.Add(1)
+		}
+	}
+	return f.inner.Do(ctx, path, rawQuery)
+}
+
+// Check refuses health probes while down (a dead node's /readyz is
+// unreachable too) and otherwise passes through, so drain states still
+// surface.
+func (f *FaultyBackend) Check(ctx context.Context) cluster.Health {
+	if f.down.Load() {
+		return cluster.HealthDown
+	}
+	return f.inner.Check(ctx)
+}
+
+// waitCtx blocks for d or until ctx is done.
+func waitCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

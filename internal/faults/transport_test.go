@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cosmo/internal/cluster"
+)
+
+// okClusterBackend is a trivially healthy cluster.Backend.
+type okClusterBackend struct{}
+
+func (okClusterBackend) Do(ctx context.Context, path, rawQuery string) (cluster.Result, error) {
+	return cluster.Result{Status: 200, Body: []byte("ok")}, nil
+}
+
+func (okClusterBackend) Check(ctx context.Context) cluster.Health { return cluster.HealthReady }
+
+func TestTransportInjectorDeterministic(t *testing.T) {
+	cfg := TransportConfig{Seed: 42, RefuseRate: 0.2, FiveXXRate: 0.2, LatencyRate: 0.1, Latency: time.Microsecond}
+	run := func() TransportStats {
+		fb := WrapBackend(okClusterBackend{}, cfg)
+		for i := 0; i < 500; i++ {
+			_, _ = fb.Do(context.Background(), "/intent", "q=x") //cosmo:lint-ignore dropped-error the injected failures are the point; counted via Stats
+		}
+		return fb.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed produced different fault streams:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Refusals == 0 || s1.FiveXX == 0 || s1.Latencies == 0 || s1.Clean == 0 {
+		t.Fatalf("expected every configured fault kind to fire over 500 calls: %+v", s1)
+	}
+	if got := s1.Refusals + s1.FiveXX + s1.Latencies + s1.Clean; got != 500 {
+		t.Fatalf("fault kinds sum to %d, want 500", got)
+	}
+}
+
+func TestTransportInjectorDownEpisode(t *testing.T) {
+	fb := WrapBackend(okClusterBackend{}, TransportConfig{})
+	if _, err := fb.Do(context.Background(), "/intent", ""); err != nil {
+		t.Fatalf("healthy call failed: %v", err)
+	}
+	if got := fb.Check(context.Background()); got != cluster.HealthReady {
+		t.Fatalf("healthy check = %v, want ready", got)
+	}
+	fb.SetDown(true)
+	if _, err := fb.Do(context.Background(), "/intent", ""); !errors.Is(err, ErrRefused) {
+		t.Fatalf("down call err = %v, want ErrRefused", err)
+	}
+	if got := fb.Check(context.Background()); got != cluster.HealthDown {
+		t.Fatalf("down check = %v, want down (a dead node's /readyz is unreachable too)", got)
+	}
+	fb.SetDown(false)
+	if _, err := fb.Do(context.Background(), "/intent", ""); err != nil {
+		t.Fatalf("recovered call failed: %v", err)
+	}
+}
+
+func TestTransportInjectorHangHonorsContext(t *testing.T) {
+	fb := WrapBackend(okClusterBackend{}, TransportConfig{Seed: 1, HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fb.Do(ctx, "/intent", "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang err = %v, want the context's deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang outlived its context by %v", elapsed)
+	}
+	if fb.Stats().Hangs != 1 {
+		t.Fatalf("hangs = %d, want 1", fb.Stats().Hangs)
+	}
+}
+
+func TestTransportInjectorStragglerHonorsContext(t *testing.T) {
+	fb := WrapBackend(okClusterBackend{}, TransportConfig{})
+	fb.SetExtraLatency(10 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := fb.Do(ctx, "/intent", ""); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("straggler err = %v, want the context's deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("straggler delay outlived its context by %v", elapsed)
+	}
+	fb.SetExtraLatency(0)
+	if _, err := fb.Do(context.Background(), "/intent", ""); err != nil {
+		t.Fatalf("call after episode end failed: %v", err)
+	}
+}
+
+func TestTransportInjectorDisabledPassesThrough(t *testing.T) {
+	fb := WrapBackend(okClusterBackend{}, TransportConfig{Seed: 1, RefuseRate: 1})
+	fb.SetEnabled(false)
+	for i := 0; i < 10; i++ {
+		if _, err := fb.Do(context.Background(), "/intent", ""); err != nil {
+			t.Fatalf("disabled injector still injected: %v", err)
+		}
+	}
+	if s := fb.Stats(); s.Calls != 0 {
+		t.Fatalf("disabled injector consumed %d rolls, want 0 (episodes must not perturb the sequence)", s.Calls)
+	}
+}

@@ -102,7 +102,10 @@ func DefaultConfig() Config {
 	return Config{
 		WallclockAllow: []string{
 			"cosmo/internal/serving",
+			"cosmo/internal/cluster",
+			"cosmo/internal/faults",
 			"cosmo/cmd/cosmo-serve",
+			"cosmo/cmd/cosmo-router",
 			"cosmo/cmd/cosmo-loadgen",
 			"cosmo/cmd/cosmo-bench",
 		},
@@ -129,8 +132,10 @@ func DefaultConfig() Config {
 		},
 		CtxPaths: []string{
 			"cosmo/internal/serving",
+			"cosmo/internal/cluster",
 			"cosmo/internal/faults",
 			"cosmo/cmd/cosmo-serve",
+			"cosmo/cmd/cosmo-router",
 			"cosmo/cmd/cosmo-loadgen",
 		},
 	}

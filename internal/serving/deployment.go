@@ -65,6 +65,14 @@ type Deployment struct {
 	// until then and again whenever the breaker is open.
 	ready atomic.Bool
 
+	// draining marks a deliberate shutdown in progress (BeginDrain):
+	// /readyz answers 503 so routers stop sending fresh keys here, but
+	// the query endpoints keep serving in-flight and router-retry
+	// traffic until the grace period lapses. Exported on /metrics as
+	// cosmo_draining so a router can distinguish drain from death.
+	draining     atomic.Bool
+	drainStartNs atomic.Int64
+
 	latency *Histogram
 	// interactions is the feedback loop: query -> interaction count,
 	// feeding the next refresh's frequent-search selection.
@@ -195,6 +203,34 @@ func (d *Deployment) SetReady(ready bool) { d.ready.Store(ready) }
 
 // Ready reports whether warmup has completed.
 func (d *Deployment) Ready() bool { return d.ready.Load() }
+
+// BeginDrain starts a graceful drain: readiness flips off (so /readyz
+// tells load balancers and routers to take this node out of rotation)
+// and the deployment is marked draining. The query endpoints keep
+// serving — in-flight requests and router retries still get answers —
+// until the caller decides the grace period is over (DrainElapsed) and
+// shuts the listener down. Idempotent; the first call stamps the drain
+// start time from the deployment's Clock.
+func (d *Deployment) BeginDrain() {
+	d.SetReady(false)
+	if d.draining.CompareAndSwap(false, true) {
+		d.drainStartNs.Store(d.Clock.Now().UnixNano())
+	}
+}
+
+// Draining reports whether a graceful drain is in progress.
+func (d *Deployment) Draining() bool { return d.draining.Load() }
+
+// DrainElapsed reports whether the drain grace period has lapsed: true
+// once BeginDrain was called at least grace ago on the deployment's
+// Clock (so tests drive it with a FakeClock). False when not draining.
+func (d *Deployment) DrainElapsed(grace time.Duration) bool {
+	if !d.draining.Load() {
+		return false
+	}
+	start := time.Unix(0, d.drainStartNs.Load())
+	return d.Clock.Now().Sub(start) >= grace
+}
 
 // Version returns the current model version.
 func (d *Deployment) Version() int {

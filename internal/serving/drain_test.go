@@ -1,0 +1,80 @@
+package serving
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeploymentDrainLifecycle(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1_700_000_000, 0))
+	dep := NewDeployment(DeployConfig{DailyCacheCap: 16}, ResponderFunc(func(q string) Feature {
+		return Feature{Query: q, Intents: []string{"i"}}
+	}))
+	dep.Clock = clock
+	dep.Cache.ReplaceYearly([]Feature{{Query: "camping", Intents: []string{"i"}, Version: 1, CreatedAt: clock.Now()}})
+	dep.SetReady(true)
+	h := NewHTTPHandler(dep)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if dep.Draining() {
+		t.Fatal("fresh deployment reports draining")
+	}
+	if dep.DrainElapsed(time.Second) {
+		t.Fatal("DrainElapsed true before BeginDrain")
+	}
+	if rec := get("/metrics"); !strings.Contains(rec.Body.String(), "cosmo_draining 0") {
+		t.Fatalf("/metrics before drain missing cosmo_draining 0:\n%s", rec.Body.String())
+	}
+
+	dep.BeginDrain()
+	if dep.Ready() {
+		t.Fatal("BeginDrain left the deployment ready")
+	}
+	if !dep.Draining() {
+		t.Fatal("BeginDrain did not mark draining")
+	}
+	// The drain protocol's router-visible half: /readyz says 503 with a
+	// "draining" body (so routers classify drain, not death), /metrics
+	// exports the gauge, and the query path still answers.
+	rec := get("/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("/readyz body %q does not announce the drain", rec.Body.String())
+	}
+	if rec := get("/metrics"); !strings.Contains(rec.Body.String(), "cosmo_draining 1") {
+		t.Fatalf("/metrics while draining missing cosmo_draining 1:\n%s", rec.Body.String())
+	}
+	if rec := get("/intent?q=camping"); rec.Code != http.StatusOK {
+		t.Fatalf("/intent while draining = %d, want 200 (in-flight traffic keeps serving)", rec.Code)
+	}
+
+	// Grace accounting runs on the injected clock.
+	if dep.DrainElapsed(5 * time.Second) {
+		t.Fatal("DrainElapsed true immediately after BeginDrain")
+	}
+	clock.Advance(4 * time.Second)
+	if dep.DrainElapsed(5 * time.Second) {
+		t.Fatal("DrainElapsed true at 4s of a 5s grace")
+	}
+	clock.Advance(time.Second)
+	if !dep.DrainElapsed(5 * time.Second) {
+		t.Fatal("DrainElapsed false at 5s of a 5s grace")
+	}
+
+	// BeginDrain is idempotent: a second call must not restart the
+	// grace window.
+	dep.BeginDrain()
+	if !dep.DrainElapsed(5 * time.Second) {
+		t.Fatal("second BeginDrain restarted the grace window")
+	}
+}

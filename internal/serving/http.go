@@ -219,6 +219,13 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 		_, _ = w.Write([]byte("ok")) //cosmo:lint-ignore dropped-error best-effort liveness response; a write failure means the client is gone
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if d.Draining() {
+			// Distinct body so a router's health probe can tell a
+			// deliberate drain (node still answers queries during the
+			// grace period) from warmup or death.
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		if !d.Ready() {
 			http.Error(w, "warming up", http.StatusServiceUnavailable)
 			return
@@ -273,6 +280,11 @@ func NewHTTPHandler(d *Deployment) http.Handler {
 			ready = 1
 		}
 		fmt.Fprintf(w, "cosmo_ready %d\n", ready)
+		draining := 0
+		if d.Draining() {
+			draining = 1
+		}
+		fmt.Fprintf(w, "cosmo_draining %d\n", draining)
 		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.5\"} %g\n", hist.Quantile(0.50))
 		fmt.Fprintf(w, "cosmo_request_latency_ms{quantile=\"0.99\"} %g\n", hist.Quantile(0.99))
 		var cum int64

@@ -222,6 +222,40 @@ func (b *breaker) openLocked() {
 	b.consecFails = 0
 }
 
+// abandon releases an admitted call without counting it as success or
+// failure — the caller was cancelled (e.g. it lost a hedged race) so
+// its outcome says nothing about the backend's health. In half-open it
+// frees the probe slot for the next caller.
+func (b *breaker) abandon() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probeInFlight = false
+	}
+}
+
+// canServe is the non-mutating view of allow: would a call be admitted
+// right now? Unlike allow it neither flips open->half-open nor claims
+// the probe slot, so eligibility scans (the cluster router's replica-set
+// derivation) can consult it without perturbing breaker state.
+func (b *breaker) canServe() bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return b.clock.Now().Sub(b.openedAt) >= b.cooldown
+	case BreakerHalfOpen:
+		return !b.probeInFlight
+	}
+	return true
+}
+
 func (b *breaker) snapshot() (BreakerState, uint64) {
 	if b.threshold < 0 {
 		return BreakerClosed, 0
@@ -378,6 +412,87 @@ func jitterFor(seed int64, call uint64, attempt int) float64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
 	return 0.5 + float64(z>>11)/float64(1<<53)
+}
+
+// BreakerConfig configures a standalone Breaker. Zero values select the
+// same defaults as ResilienceConfig's breaker fields.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures trip the breaker open
+	// (default 5; negative disables the breaker — it never opens).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Probes is how many consecutive probe successes close a half-open
+	// breaker (default 2).
+	Probes int
+	// Clock times the open period; swap in a FakeClock for tests
+	// (default RealClock).
+	Clock Clock
+}
+
+// Breaker is the resilience layer's circuit breaker as a standalone,
+// reusable component: the cluster router keeps one per node so
+// breaker-open nodes drop out of replica sets, exactly as Resilient
+// drops calls to a breaker-open responder. Every call admitted by Allow
+// must be concluded by exactly one of Success, Failure or Abandon.
+type Breaker struct {
+	b breaker
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 2
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	return &Breaker{b: breaker{
+		clock:     cfg.Clock,
+		threshold: cfg.Threshold,
+		cooldown:  cfg.Cooldown,
+		probes:    cfg.Probes,
+	}}
+}
+
+// Allow reports whether a call may proceed, claiming the half-open
+// probe slot when it does. A caller that got true must later call
+// Success, Failure or Abandon.
+func (b *Breaker) Allow() bool { return b.b.allow() }
+
+// CanServe is the non-mutating form of Allow: would a call be admitted
+// right now? It neither transitions the breaker nor claims the probe
+// slot, so it is safe to call from eligibility scans.
+func (b *Breaker) CanServe() bool { return b.b.canServe() }
+
+// Success concludes an admitted call that succeeded.
+func (b *Breaker) Success() { b.b.success() }
+
+// Failure concludes an admitted call that failed.
+func (b *Breaker) Failure() { b.b.failure() }
+
+// Abandon concludes an admitted call whose outcome is unknown (the
+// caller was cancelled mid-flight); it frees the probe slot without
+// counting toward either quorum.
+func (b *Breaker) Abandon() { b.b.abandon() }
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	s, _ := b.b.snapshot()
+	return s
+}
+
+// Opens returns how many times the breaker has opened.
+func (b *Breaker) Opens() uint64 {
+	_, n := b.b.snapshot()
+	return n
 }
 
 // sleepCtx blocks for d or until ctx is done, reporting whether the full
